@@ -1,0 +1,37 @@
+"""Figure 3 — frame transmission latency vs bitrate and packet loss.
+
+Reproduces the paper's prototype measurement on the emulated 10 Mbps /
+30 ms path: latency rises with bitrate even below the bandwidth (more
+packets per frame ⇒ more retransmission rounds under loss) and explodes
+once the bitrate exceeds the bandwidth.  The grey region is where
+traditional ABR operates; the yellow region (ultra-low bitrate) is the
+operating point AI Video Chat can exploit.
+"""
+
+from repro.analysis import format_figure3, run_figure3_latency
+
+
+def _rows():
+    return run_figure3_latency(
+        bitrates_bps=(200_000, 1_000_000, 4_000_000, 8_000_000, 12_000_000),
+        loss_rates=(0.0, 0.01, 0.05),
+        duration_s=15.0,
+    )
+
+
+def test_fig3_latency_vs_bitrate_and_loss(benchmark):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    print()
+    print(format_figure3(rows))
+
+    def mean(bitrate, loss):
+        return next(r.mean_latency_ms for r in rows if r.bitrate_bps == bitrate and r.loss_rate == loss)
+
+    # Below the bandwidth, latency grows with bitrate under loss.
+    assert mean(200_000, 0.05) < mean(4_000_000, 0.05) < mean(8_000_000, 0.05)
+    # Loss increases latency at a fixed bitrate.
+    assert mean(4_000_000, 0.05) > mean(4_000_000, 0.0)
+    # Above the bandwidth (12 Mbps > 10 Mbps), latency blows up (grey→overload).
+    assert mean(12_000_000, 0.0) > 5 * mean(8_000_000, 0.0)
+    # The ultra-low-bitrate (yellow region) point stays near the propagation delay.
+    assert mean(200_000, 0.01 if any(r.loss_rate == 0.01 for r in rows) else 0.0) < 60.0

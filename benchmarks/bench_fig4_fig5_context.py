@@ -1,0 +1,40 @@
+"""Figures 4 and 5 — why video should be context-aware.
+
+Figure 4: the same 200 Kbps degradation leaves a coarse question answerable
+but breaks a detail question — quality sensitivity depends on the chat
+context.  Figure 5: CLIP-style correlation between the user's words and
+video patches points at the chat-relevant region, including indirectly
+(season → grass).
+"""
+
+from repro.analysis import (
+    format_figure5,
+    format_mapping,
+    run_figure4_context_dependence,
+    run_figure5_correlation_maps,
+)
+
+
+def test_fig4_context_dependence(benchmark):
+    result = benchmark.pedantic(run_figure4_context_dependence, rounds=1, iterations=1)
+    print()
+    print(format_mapping("Figure 4 — quality sensitivity depends on the question", result))
+
+    # At high bitrate both questions are answered correctly.
+    assert result["high_bitrate"]["coarse_question_correct"]
+    assert result["high_bitrate"]["detail_question_correct"]
+    # At 200 Kbps the coarse question still works but the detail question breaks.
+    assert result["low_bitrate"]["coarse_question_correct"]
+    assert not result["low_bitrate"]["detail_question_correct"]
+
+
+def test_fig5_correlation_maps(benchmark):
+    cases = benchmark.pedantic(run_figure5_correlation_maps, rounds=1, iterations=1)
+    print()
+    print(format_figure5(cases))
+
+    # Every dialogue's expected region is the most correlated one, including
+    # the indirect season→grass inference of Figure 5's third dialogue.
+    for case in cases:
+        assert case.target_is_most_relevant, case.question
+        assert case.target_correlation > 0.3

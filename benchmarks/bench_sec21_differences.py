@@ -1,0 +1,36 @@
+"""Section 2.1 — the four differences between AI Video Chat and traditional RTC.
+
+* QoE becomes MLLM accuracy (exercised throughout Figure 9's bench).
+* Jitter has no impact: the MLLM orders frames by capture timestamp, so a
+  jittered delivery produces an identical model input while a human-oriented
+  jitter buffer pays real latency.
+* Receiver (MLLM-perceived) throughput is far below sender throughput.
+* Uplink is more pressing than downlink: the reply is a few hundred tokens.
+"""
+
+from repro.analysis import (
+    format_mapping,
+    run_section21_jitter_invariance,
+    run_section21_throughput_asymmetry,
+)
+
+
+def test_sec21_jitter_has_no_impact(benchmark):
+    result = benchmark.pedantic(run_section21_jitter_invariance, rounds=1, iterations=1)
+    print()
+    print(format_mapping("Section 2.1 — jitter invariance", result))
+
+    # The human-oriented jitter buffer pays tens of milliseconds; the
+    # AI-oriented passthrough pays nothing and the MLLM input is unchanged.
+    assert result["jitter_buffer_added_latency_ms"] > 10.0
+    assert result["passthrough_added_latency_ms"] == 0.0
+    assert result["mllm_input_identical"] == 1.0
+
+
+def test_sec21_uplink_dominates_downlink(benchmark):
+    result = benchmark.pedantic(run_section21_throughput_asymmetry, rounds=1, iterations=1)
+    print()
+    print(format_mapping("Section 2.1 — throughput asymmetry", result))
+
+    assert result["receiver_perceived_bps"] < result["sender_throughput_bps"] / 10
+    assert result["uplink_to_downlink_ratio"] > 100

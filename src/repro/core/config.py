@@ -1,0 +1,85 @@
+"""Top-level configuration bundle for the whole AI Video Chat stack.
+
+A convenience aggregation so examples and benchmarks can configure the full
+pipeline (network, transport, streaming, session) from one object, with the
+paper's measurement defaults (10 Mbps uplink, 30 ms one-way delay, 2 FPS
+MLLM ingestion, γ = 3) baked in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..net.emulator import BernoulliLoss, PathConfig
+from ..net.transport import TransportConfig
+from .context_aware import StreamingConfig
+from .pipeline import ChatSessionConfig
+
+
+@dataclass
+class AiVideoChatConfig:
+    """One object holding every knob of the reproduction stack."""
+
+    #: Paper measurement setup: 10 Mbps uplink bandwidth.
+    uplink_bandwidth_bps: float = 10_000_000.0
+    #: Paper measurement setup: 30 ms one-way network delay.
+    one_way_delay_s: float = 0.030
+    packet_loss_rate: float = 0.0
+    seed: int = 0
+
+    streaming: StreamingConfig = field(default_factory=StreamingConfig)
+    session: ChatSessionConfig = field(default_factory=ChatSessionConfig)
+    transport: TransportConfig = field(default_factory=TransportConfig)
+
+    def __post_init__(self) -> None:
+        if self.uplink_bandwidth_bps <= 0:
+            raise ValueError("uplink_bandwidth_bps must be positive")
+        if self.one_way_delay_s < 0:
+            raise ValueError("one_way_delay_s must be non-negative")
+        if not 0.0 <= self.packet_loss_rate < 1.0:
+            raise ValueError("packet_loss_rate must be in [0, 1)")
+
+    def uplink_path(self) -> PathConfig:
+        """The emulated uplink path described by this configuration."""
+        return PathConfig(
+            bandwidth_bps=self.uplink_bandwidth_bps,
+            propagation_delay_s=self.one_way_delay_s,
+            loss_model=BernoulliLoss(self.packet_loss_rate),
+            seed=self.seed,
+        )
+
+    def with_loss(self, packet_loss_rate: float) -> "AiVideoChatConfig":
+        """A copy of this configuration with a different loss rate."""
+        return AiVideoChatConfig(
+            uplink_bandwidth_bps=self.uplink_bandwidth_bps,
+            one_way_delay_s=self.one_way_delay_s,
+            packet_loss_rate=packet_loss_rate,
+            seed=self.seed,
+            streaming=self.streaming,
+            session=self.session,
+            transport=self.transport,
+        )
+
+    def with_bitrate(self, target_bitrate_bps: Optional[float]) -> "AiVideoChatConfig":
+        """A copy of this configuration with a different target bitrate."""
+        session = ChatSessionConfig(
+            target_bitrate_bps=target_bitrate_bps,
+            context_aware=self.session.context_aware,
+            mllm_fps=self.session.mllm_fps,
+            window_s=self.session.window_s,
+            use_jitter_buffer=self.session.use_jitter_buffer,
+            answer_mode=self.session.answer_mode,
+            encode_ms_per_frame=self.session.encode_ms_per_frame,
+            decode_ms_per_frame=self.session.decode_ms_per_frame,
+            drain_s=self.session.drain_s,
+        )
+        return AiVideoChatConfig(
+            uplink_bandwidth_bps=self.uplink_bandwidth_bps,
+            one_way_delay_s=self.one_way_delay_s,
+            packet_loss_rate=self.packet_loss_rate,
+            seed=self.seed,
+            streaming=self.streaming,
+            session=session,
+            transport=self.transport,
+        )

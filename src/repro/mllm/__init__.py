@@ -1,0 +1,104 @@
+"""MLLM substrate: embeddings, CLIP substitute, sampling, tokenizers, model.
+
+Everything the paper needs from the AI side of AI Video Chat, simulated so
+that it runs offline on a laptop: a shared text/image concept space, a
+MobileCLIP-style correlation map (Equation 1), the receiver-side frame
+sampler (≤2 FPS, ≤602,112 pixels), continuous/discrete video tokenizers, a
+quality-gated simulated MLLM, the inference latency model, long-term memory,
+and client/cloud model collaboration.
+"""
+
+from .clip import ClipConfig, ClipPatchEncoder, ClipTextEncoder, CorrelationMap, MobileClip
+from .embedding import (
+    DEFAULT_CONCEPT_RELATIONS,
+    DEFAULT_SYNONYMS,
+    ConceptSpace,
+    cosine_similarity,
+)
+from .inference import (
+    DEFAULT_AUDIO_ONLY_FLOOR_MS,
+    DEFAULT_RESPONSE_BUDGET_MS,
+    InferenceConfig,
+    LatencyBudget,
+    default_inference_config,
+    transmission_budget_ms,
+)
+from .memory import LongTermMemory, MemoryEntry
+from .mobile import CollaborationConfig, ModelCollaboration, RoutedAnswer
+from .model import (
+    GLM_4_5V,
+    MODE_FREE_RESPONSE,
+    MODE_MULTIPLE_CHOICE,
+    MOBILE_MLLM,
+    QWEN2_5_OMNI,
+    QWEN3_VL_PLUS,
+    UNCLEAR_ANSWER,
+    MllmAnswer,
+    MllmProfile,
+    SimulatedMLLM,
+)
+from .sampler import (
+    DEFAULT_MAX_FPS,
+    DEFAULT_MAX_PIXELS,
+    ReceiverSampler,
+    SamplerConfig,
+    SamplingReport,
+    perceived_throughput_bps,
+    sender_throughput_bps,
+)
+from .tokenizer import (
+    ContinuousTokenizer,
+    DiscreteTokenizer,
+    TokenizedFrame,
+    TokenizerConfig,
+    TokenLossResult,
+    compare_token_stream_bitrates,
+    drop_and_recover_tokens,
+)
+
+__all__ = [
+    "CollaborationConfig",
+    "ClipConfig",
+    "ClipPatchEncoder",
+    "ClipTextEncoder",
+    "ConceptSpace",
+    "ContinuousTokenizer",
+    "CorrelationMap",
+    "DEFAULT_AUDIO_ONLY_FLOOR_MS",
+    "DEFAULT_CONCEPT_RELATIONS",
+    "DEFAULT_MAX_FPS",
+    "DEFAULT_MAX_PIXELS",
+    "DEFAULT_RESPONSE_BUDGET_MS",
+    "DEFAULT_SYNONYMS",
+    "DiscreteTokenizer",
+    "GLM_4_5V",
+    "InferenceConfig",
+    "LatencyBudget",
+    "LongTermMemory",
+    "MemoryEntry",
+    "MllmAnswer",
+    "MllmProfile",
+    "MobileClip",
+    "MODE_FREE_RESPONSE",
+    "MODE_MULTIPLE_CHOICE",
+    "MOBILE_MLLM",
+    "ModelCollaboration",
+    "QWEN2_5_OMNI",
+    "QWEN3_VL_PLUS",
+    "ReceiverSampler",
+    "RoutedAnswer",
+    "SamplerConfig",
+    "SamplingReport",
+    "SimulatedMLLM",
+    "TokenLossResult",
+    "TokenizedFrame",
+    "TokenizerConfig",
+    "UNCLEAR_ANSWER",
+    "compare_token_stream_bitrates",
+    "cosine_similarity",
+    "default_inference_config",
+    "drop_and_recover_tokens",
+    "perceived_throughput_bps",
+    "sender_throughput_bps",
+    "transmission_budget_ms",
+]

@@ -1,0 +1,231 @@
+"""A deterministic shared concept-embedding space.
+
+The paper uses CLIP (MobileCLIP on the client) to place user words and video
+patches in one feature space so that cosine similarity measures how relevant
+a patch is to the current chat (Equation 1).  Offline we cannot run CLIP, so
+this module builds the property the experiments actually rely on: a shared
+vector space where
+
+* every concept word has a reproducible unit vector,
+* semantically related concepts (grass→season, dog head→ears, scoreboard→
+  score) have correlated vectors, so indirect questions still light up the
+  right regions (the Figure 5 "season" example), and
+* unrelated concepts are nearly orthogonal (high dimension + random vectors).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+#: Semantic relations used to mix concept vectors.  Keys "lean towards" their
+#: related concepts, which is what lets an abstract query (season) correlate
+#: with a concrete region (grass).
+DEFAULT_CONCEPT_RELATIONS: dict[str, tuple[str, ...]] = {
+    # Abstract → concrete evidence
+    "season": ("grass", "tree", "plants", "nature", "weather"),
+    "weather": ("sky", "season"),
+    "score": ("scoreboard", "numbers", "text", "game"),
+    "game": ("player", "court", "scoreboard"),
+    "ears": ("dog", "head", "animal"),
+    "head": ("ears", "dog"),
+    "brand": ("logo", "jersey", "emblem"),
+    "logo": ("brand", "jersey", "emblem"),
+    "numbers": ("text", "plate", "timer", "scoreboard"),
+    "text": ("numbers", "sign", "label", "slide", "title"),
+    "count": ("spectators", "crowd", "car", "ingredients", "bullets"),
+    "crowd": ("spectators", "people", "audience"),
+    "spectators": ("crowd", "people", "audience"),
+    "people": ("person", "crowd", "pedestrian"),
+    "person": ("people", "player", "cook", "lecturer", "pedestrian", "body"),
+    "action": ("person", "body", "walking", "hands"),
+    "position": ("left", "right", "spatial"),
+    "plate": ("numbers", "car", "text"),
+    "car": ("vehicles", "traffic", "plate"),
+    "vehicles": ("car", "traffic"),
+    "sign": ("text", "road", "traffic"),
+    "label": ("text", "jar", "ingredient"),
+    "timer": ("numbers", "clock", "text"),
+    "clock": ("timer", "numbers"),
+    "slide": ("text", "title", "bullets", "lecture"),
+    "title": ("slide", "text"),
+    "equation": ("math", "formula", "text", "slide"),
+    "formula": ("equation", "math"),
+    "math": ("equation", "formula", "numbers"),
+    "bullets": ("list", "slide", "text"),
+    "list": ("bullets", "slide"),
+    "ingredient": ("food", "ingredients", "label"),
+    "ingredients": ("food", "vegetables", "ingredient"),
+    "food": ("ingredients", "vegetables"),
+    "dog": ("animal", "pet", "ears", "head", "body"),
+    "animal": ("dog", "pet"),
+    "pet": ("dog", "animal"),
+    "grass": ("lawn", "plants", "nature", "season"),
+    "lawn": ("grass", "plants"),
+    "plants": ("grass", "tree", "nature"),
+    "tree": ("plants", "nature"),
+    "player": ("person", "athlete", "game", "jersey"),
+    "athlete": ("player", "person"),
+    "jersey": ("player", "logo", "brand"),
+    "scoreboard": ("score", "numbers", "game", "text"),
+    "pedestrian": ("person", "walking", "road"),
+    "walking": ("action", "pedestrian"),
+    "cook": ("person", "hands", "food"),
+    "hands": ("cook", "action", "person"),
+    "lecturer": ("person", "speaker", "lecture"),
+    "speaker": ("lecturer", "person"),
+    "lecture": ("slide", "lecturer"),
+    "road": ("traffic", "sign", "street"),
+    "street": ("road", "city", "traffic"),
+    "traffic": ("road", "car", "sign"),
+    "emblem": ("logo", "brand"),
+    "jar": ("label", "ingredient"),
+    "audience": ("spectators", "crowd"),
+    "body": ("person", "dog", "action"),
+}
+
+#: Phrases commonly found in questions, mapped onto vocabulary concepts.
+DEFAULT_SYNONYMS: dict[str, tuple[str, ...]] = {
+    "erect-eared": ("ears", "dog"),
+    "floppy-eared": ("ears", "dog"),
+    "spectator": ("spectators",),
+    "cars": ("car",),
+    "doing": ("action",),
+    "do": ("action",),
+    "many": ("count",),
+    "number": ("numbers",),
+    "written": ("text",),
+    "say": ("text",),
+    "says": ("text",),
+    "wearing": ("jersey",),
+    "mouth": ("person", "head"),
+    "left": ("position",),
+    "right": ("position",),
+    "side": ("position",),
+    "time": ("timer", "clock"),
+    "license": ("plate",),
+    "ingredients": ("ingredients",),
+    "bullet": ("bullets",),
+    "points": ("bullets",),
+}
+
+
+def _stable_seed(text: str, salt: int = 0) -> int:
+    digest = hashlib.sha256(f"{salt}:{text}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+@dataclass
+class ConceptSpace:
+    """Deterministic concept vectors with semantic mixing."""
+
+    dim: int = 64
+    relations: Mapping[str, tuple[str, ...]] = field(
+        default_factory=lambda: dict(DEFAULT_CONCEPT_RELATIONS)
+    )
+    synonyms: Mapping[str, tuple[str, ...]] = field(default_factory=lambda: dict(DEFAULT_SYNONYMS))
+    relation_weight: float = 0.6
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dim < 8:
+            raise ValueError("dim must be at least 8 for near-orthogonality")
+        if not 0.0 <= self.relation_weight <= 1.0:
+            raise ValueError("relation_weight must be in [0, 1]")
+        self._base_cache: dict[str, np.ndarray] = {}
+        self._mixed_cache: dict[str, np.ndarray] = {}
+
+    # -- vectors ------------------------------------------------------------
+
+    def _base_vector(self, concept: str) -> np.ndarray:
+        concept = concept.lower()
+        if concept not in self._base_cache:
+            rng = np.random.default_rng(_stable_seed(concept, self.seed))
+            vector = rng.normal(0, 1, self.dim)
+            self._base_cache[concept] = vector / np.linalg.norm(vector)
+        return self._base_cache[concept]
+
+    def vector(self, concept: str) -> np.ndarray:
+        """Unit vector for a concept, mixed with its related concepts."""
+        concept = concept.lower()
+        if concept not in self._mixed_cache:
+            base = self._base_vector(concept)
+            related = self.relations.get(concept, ())
+            if related:
+                neighbour = np.mean([self._base_vector(other) for other in related], axis=0)
+                mixed = (1 - self.relation_weight) * base + self.relation_weight * neighbour
+            else:
+                mixed = base
+            self._mixed_cache[concept] = mixed / np.linalg.norm(mixed)
+        return self._mixed_cache[concept]
+
+    def encode_concepts(self, concepts: Iterable[str], weights: Optional[Sequence[float]] = None) -> np.ndarray:
+        """Weighted mean of concept vectors, re-normalised to unit length.
+
+        Returns the zero vector when no concepts are supplied (callers treat
+        that as "no signal": correlation collapses to 0).
+        """
+        concepts = [c for c in concepts if c]
+        if not concepts:
+            return np.zeros(self.dim)
+        if weights is None:
+            weights = [1.0] * len(concepts)
+        weights = np.asarray(list(weights), dtype=float)
+        if weights.shape[0] != len(concepts) or (weights < 0).any():
+            raise ValueError("weights must be non-negative and match the concept count")
+        if weights.sum() <= 0:
+            return np.zeros(self.dim)
+        stacked = np.stack([self.vector(c) for c in concepts])
+        combined = (weights[:, None] * stacked).sum(axis=0)
+        norm = np.linalg.norm(combined)
+        if norm <= 1e-12:
+            return np.zeros(self.dim)
+        return combined / norm
+
+    def similarity(self, first: str, second: str) -> float:
+        """Cosine similarity between two concepts."""
+        return float(np.dot(self.vector(first), self.vector(second)))
+
+    # -- text handling --------------------------------------------------------
+
+    @property
+    def vocabulary(self) -> set[str]:
+        vocab = set(self.relations.keys())
+        for related in self.relations.values():
+            vocab.update(related)
+        return vocab
+
+    def extract_concepts(self, text: str) -> list[str]:
+        """Pull vocabulary concepts (and synonym-mapped concepts) out of text."""
+        vocab = self.vocabulary
+        words = re.findall(r"[a-zA-Z][a-zA-Z\-']*", text.lower())
+        found: list[str] = []
+        for word in words:
+            candidates = [word]
+            if word.endswith("s") and len(word) > 3:
+                candidates.append(word[:-1])
+            matched = False
+            for candidate in candidates:
+                if candidate in vocab and candidate not in found:
+                    found.append(candidate)
+                    matched = True
+                    break
+            if not matched and word in self.synonyms:
+                for mapped in self.synonyms[word]:
+                    if mapped in vocab and mapped not in found:
+                        found.append(mapped)
+        return found
+
+
+def cosine_similarity(first: np.ndarray, second: np.ndarray) -> float:
+    """Cosine similarity, defined as 0 when either vector is (near) zero."""
+    first = np.asarray(first, dtype=float)
+    second = np.asarray(second, dtype=float)
+    norms = np.linalg.norm(first) * np.linalg.norm(second)
+    if norms <= 1e-12:
+        return 0.0
+    return float(np.dot(first, second) / norms)

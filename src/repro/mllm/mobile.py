@@ -1,0 +1,155 @@
+"""Client/cloud model collaboration (Section 4, "Client-side computation").
+
+The paper suggests spending spare client compute on a small on-device MLLM
+that answers easy questions locally, so only challenging video needs to be
+transmitted to the cloud model.  This module implements that collaboration
+policy on top of two :class:`~repro.mllm.model.SimulatedMLLM` instances: a
+weak local model and a strong cloud model, with a confidence rule deciding
+where each question is served and an accounting of the uplink bytes and
+latency saved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..video.frames import VideoFrame
+from ..video.scene import Scene, SceneFact
+from .inference import InferenceConfig
+from .model import MODE_MULTIPLE_CHOICE, MOBILE_MLLM, MllmAnswer, MllmProfile, QWEN2_5_OMNI, SimulatedMLLM
+
+
+@dataclass
+class CollaborationConfig:
+    """Policy knobs for local-versus-cloud routing."""
+
+    #: A question is served locally when the local model's evidence exceeds
+    #: its requirement by this margin (confidence proxy).
+    local_confidence_margin: float = 0.10
+    #: Questions with detail above this level always go to the cloud model.
+    max_local_detail_scale: float = 0.5
+    #: Latency of the local model (no network, small model).
+    local_inference_ms: float = 90.0
+    #: One-way network latency to reach the cloud model.
+    network_rtt_ms: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.local_confidence_margin < 0:
+            raise ValueError("local_confidence_margin must be non-negative")
+        if not 0.0 <= self.max_local_detail_scale <= 1.0:
+            raise ValueError("max_local_detail_scale must be in [0, 1]")
+
+
+@dataclass
+class RoutedAnswer:
+    """An answer plus where it was served and what it cost."""
+
+    answer: MllmAnswer
+    served_by: str  # "local" or "cloud"
+    uplink_bytes: int
+    response_latency_ms: float
+
+
+class ModelCollaboration:
+    """Routes questions between an on-device MLLM and the cloud MLLM."""
+
+    def __init__(
+        self,
+        local_profile: MllmProfile = MOBILE_MLLM,
+        cloud_profile: MllmProfile = QWEN2_5_OMNI,
+        config: Optional[CollaborationConfig] = None,
+        seed: int = 0,
+        cloud_inference: Optional[InferenceConfig] = None,
+    ) -> None:
+        self.config = config or CollaborationConfig()
+        self.local = SimulatedMLLM(local_profile, seed=seed)
+        self.cloud = SimulatedMLLM(cloud_profile, seed=seed + 1, inference_config=cloud_inference)
+
+    def should_serve_locally(
+        self,
+        fact: SceneFact,
+        scene: Scene,
+        local_frames: Sequence[VideoFrame],
+        original_frames: Sequence[VideoFrame],
+    ) -> bool:
+        """Decide whether the local model is confident enough for this question."""
+        if fact.detail_scale > self.config.max_local_detail_scale:
+            return False
+        evidence = self.local.evidence_quality(fact, scene, local_frames, original_frames)
+        required = self.local.required_quality(fact.detail_scale)
+        return evidence >= required + self.config.local_confidence_margin
+
+    def answer(
+        self,
+        fact: SceneFact,
+        scene: Scene,
+        local_frames: Sequence[VideoFrame],
+        original_frames: Sequence[VideoFrame],
+        uplink_frame_bytes: int,
+        cloud_frames: Optional[Sequence[VideoFrame]] = None,
+        mode: str = MODE_MULTIPLE_CHOICE,
+    ) -> RoutedAnswer:
+        """Answer one question, locally when confident, otherwise via the cloud.
+
+        ``local_frames`` are the full-quality frames available on the device;
+        ``cloud_frames`` are what the cloud model would receive after encoding
+        and transmission (defaults to the local frames when omitted, i.e. a
+        lossless uplink).
+        """
+        serve_local = self.should_serve_locally(fact, scene, local_frames, original_frames)
+        if serve_local:
+            answer = self.local.answer_question(
+                fact, scene, local_frames, original_frames, mode=mode
+            )
+            return RoutedAnswer(
+                answer=answer,
+                served_by="local",
+                uplink_bytes=0,
+                response_latency_ms=self.config.local_inference_ms,
+            )
+
+        frames_for_cloud = list(cloud_frames) if cloud_frames is not None else list(local_frames)
+        answer = self.cloud.answer_question(
+            fact, scene, frames_for_cloud, original_frames, mode=mode
+        )
+        latency = self.config.network_rtt_ms + answer.inference_latency_ms
+        return RoutedAnswer(
+            answer=answer,
+            served_by="cloud",
+            uplink_bytes=int(uplink_frame_bytes),
+            response_latency_ms=latency,
+        )
+
+    def evaluate(
+        self,
+        facts: Sequence[SceneFact],
+        scene: Scene,
+        local_frames: Sequence[VideoFrame],
+        original_frames: Sequence[VideoFrame],
+        uplink_frame_bytes: int,
+        cloud_frames: Optional[Sequence[VideoFrame]] = None,
+    ) -> dict[str, float]:
+        """Aggregate accuracy / offload ratio / uplink savings over many questions."""
+        if not facts:
+            raise ValueError("facts must not be empty")
+        routed = [
+            self.answer(
+                fact,
+                scene,
+                local_frames,
+                original_frames,
+                uplink_frame_bytes,
+                cloud_frames=cloud_frames,
+            )
+            for fact in facts
+        ]
+        local_count = sum(1 for r in routed if r.served_by == "local")
+        return {
+            "accuracy": float(np.mean([r.answer.correct for r in routed])),
+            "local_fraction": local_count / len(routed),
+            "mean_latency_ms": float(np.mean([r.response_latency_ms for r in routed])),
+            "total_uplink_bytes": float(sum(r.uplink_bytes for r in routed)),
+        }

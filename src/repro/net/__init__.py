@@ -1,0 +1,111 @@
+"""RTC transport substrate: event simulation, emulated paths, video transport.
+
+This subpackage reproduces the paper's measurement prototype (Section 2.2,
+Figure 3): a WebRTC-style unidirectional video transport running over an
+emulated network with configurable bandwidth, delay and loss, with
+NACK-based retransmission, optional FEC, congestion control, ABR policies
+and an (optional) jitter buffer.
+"""
+
+from .abr import (
+    AbrDecision,
+    AbrPolicy,
+    AiOrientedAbr,
+    BufferBasedAbr,
+    ThroughputAbr,
+    expected_frame_latency,
+)
+from .congestion import (
+    AimdConfig,
+    AimdController,
+    FeedbackAggregator,
+    GccConfig,
+    GoogleCongestionControl,
+    RateSample,
+)
+from .emulator import (
+    BandwidthTrace,
+    BernoulliLoss,
+    EmulatedPath,
+    GilbertElliottLoss,
+    PathConfig,
+    PathStats,
+    SymmetricPathPair,
+)
+from .events import EventHandle, EventLoop, SimulationError
+from .fec import FecConfig, FecDecoder, FecEncoder, fec_recovery_probability
+from .jitter_buffer import (
+    BufferedFrame,
+    JitterBuffer,
+    JitterBufferConfig,
+    PassthroughBuffer,
+    frames_in_capture_order,
+)
+from .packet import (
+    DEFAULT_MTU_BYTES,
+    FrameAssembler,
+    NackRequest,
+    Packet,
+    Packetizer,
+    PacketType,
+)
+from .stats import FrameRecord, LatencySummary, TransportStats, summarize_latencies
+from .transport import (
+    FixedBitrateWorkload,
+    FrameDeliveryEvent,
+    TransportConfig,
+    VideoReceiver,
+    VideoSender,
+    VideoTransportSession,
+    run_fixed_bitrate_session,
+)
+
+__all__ = [
+    "AbrDecision",
+    "AbrPolicy",
+    "AiOrientedAbr",
+    "AimdConfig",
+    "AimdController",
+    "BandwidthTrace",
+    "BernoulliLoss",
+    "BufferBasedAbr",
+    "BufferedFrame",
+    "DEFAULT_MTU_BYTES",
+    "EmulatedPath",
+    "EventHandle",
+    "EventLoop",
+    "FecConfig",
+    "FecDecoder",
+    "FecEncoder",
+    "FeedbackAggregator",
+    "FixedBitrateWorkload",
+    "FrameAssembler",
+    "FrameDeliveryEvent",
+    "FrameRecord",
+    "GccConfig",
+    "GilbertElliottLoss",
+    "GoogleCongestionControl",
+    "JitterBuffer",
+    "JitterBufferConfig",
+    "LatencySummary",
+    "NackRequest",
+    "Packet",
+    "PacketType",
+    "Packetizer",
+    "PassthroughBuffer",
+    "PathConfig",
+    "PathStats",
+    "RateSample",
+    "SimulationError",
+    "SymmetricPathPair",
+    "ThroughputAbr",
+    "TransportConfig",
+    "TransportStats",
+    "VideoReceiver",
+    "VideoSender",
+    "VideoTransportSession",
+    "expected_frame_latency",
+    "fec_recovery_probability",
+    "frames_in_capture_order",
+    "summarize_latencies",
+]

@@ -1,0 +1,260 @@
+"""Network path emulation.
+
+The paper's prototype runs a WebRTC-style transport over an emulated link
+with a configured bandwidth (10 Mbps), one-way propagation delay (30 ms) and
+a swept packet-loss rate.  This module provides that emulated path as a
+bandwidth-limited drop-tail queue with serialisation delay, propagation
+delay, optional delay jitter, and pluggable loss models (Bernoulli i.i.d.
+loss and a two-state Gilbert-Elliott bursty-loss model), plus a trace-driven
+bandwidth schedule for time-varying links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from .events import EventLoop
+from .packet import Packet
+
+
+class LossModel:
+    """Interface for packet-loss processes."""
+
+    def should_drop(self, rng: np.random.Generator) -> bool:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+@dataclass
+class BernoulliLoss(LossModel):
+    """Independent and identically distributed packet loss."""
+
+    loss_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {self.loss_rate}")
+
+    def should_drop(self, rng: np.random.Generator) -> bool:
+        if self.loss_rate <= 0.0:
+            return False
+        return bool(rng.random() < self.loss_rate)
+
+
+@dataclass
+class GilbertElliottLoss(LossModel):
+    """Two-state bursty loss: a good state and a bad (lossy) state.
+
+    ``p_good_to_bad`` and ``p_bad_to_good`` are per-packet transition
+    probabilities; ``loss_in_bad`` (and optionally ``loss_in_good``) give the
+    drop probability within each state.  This captures the bursty loss that
+    makes per-frame retransmission rounds expensive in interactive video.
+    """
+
+    p_good_to_bad: float = 0.01
+    p_bad_to_good: float = 0.3
+    loss_in_bad: float = 0.5
+    loss_in_good: float = 0.0
+    _in_bad_state: bool = field(default=False, repr=False)
+
+    def should_drop(self, rng: np.random.Generator) -> bool:
+        if self._in_bad_state:
+            if rng.random() < self.p_bad_to_good:
+                self._in_bad_state = False
+        else:
+            if rng.random() < self.p_good_to_bad:
+                self._in_bad_state = True
+        loss = self.loss_in_bad if self._in_bad_state else self.loss_in_good
+        return bool(rng.random() < loss)
+
+    @property
+    def steady_state_loss(self) -> float:
+        """Long-run average loss probability of the chain."""
+        denom = self.p_good_to_bad + self.p_bad_to_good
+        if denom == 0:
+            return self.loss_in_good
+        p_bad = self.p_good_to_bad / denom
+        return p_bad * self.loss_in_bad + (1 - p_bad) * self.loss_in_good
+
+
+@dataclass
+class BandwidthTrace:
+    """A piecewise-constant bandwidth schedule.
+
+    ``times`` are the instants (seconds) at which a new rate takes effect and
+    ``rates_bps`` the corresponding link rates.  Before the first instant the
+    first rate applies.
+    """
+
+    times: Sequence[float]
+    rates_bps: Sequence[float]
+
+    def __post_init__(self) -> None:
+        if len(self.times) != len(self.rates_bps):
+            raise ValueError("times and rates_bps must have equal length")
+        if len(self.times) == 0:
+            raise ValueError("trace must contain at least one entry")
+        if any(t1 < t0 for t0, t1 in zip(self.times, list(self.times)[1:])):
+            raise ValueError("trace times must be non-decreasing")
+        if any(rate <= 0 for rate in self.rates_bps):
+            raise ValueError("trace rates must be positive")
+
+    def rate_at(self, time: float) -> float:
+        rate = self.rates_bps[0]
+        for instant, value in zip(self.times, self.rates_bps):
+            if instant <= time:
+                rate = value
+            else:
+                break
+        return float(rate)
+
+
+@dataclass
+class PathConfig:
+    """Configuration of an emulated network path.
+
+    The defaults match the paper's measurement setup: 10 Mbps bottleneck,
+    30 ms one-way propagation delay.
+    """
+
+    bandwidth_bps: float = 10_000_000.0
+    propagation_delay_s: float = 0.030
+    loss_model: LossModel = field(default_factory=BernoulliLoss)
+    queue_capacity_bytes: int = 300_000
+    jitter_std_s: float = 0.0
+    bandwidth_trace: Optional[BandwidthTrace] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bps <= 0:
+            raise ValueError("bandwidth_bps must be positive")
+        if self.propagation_delay_s < 0:
+            raise ValueError("propagation_delay_s must be non-negative")
+        if self.queue_capacity_bytes <= 0:
+            raise ValueError("queue_capacity_bytes must be positive")
+        if self.jitter_std_s < 0:
+            raise ValueError("jitter_std_s must be non-negative")
+
+
+@dataclass
+class PathStats:
+    """Counters exposed by the emulated path."""
+
+    packets_offered: int = 0
+    packets_delivered: int = 0
+    packets_lost_random: int = 0
+    packets_dropped_queue: int = 0
+    bytes_delivered: int = 0
+    max_queue_bytes: int = 0
+
+    @property
+    def delivery_ratio(self) -> float:
+        if self.packets_offered == 0:
+            return 1.0
+        return self.packets_delivered / self.packets_offered
+
+    @property
+    def loss_ratio(self) -> float:
+        return 1.0 - self.delivery_ratio
+
+
+class EmulatedPath:
+    """A one-way emulated network path driven by an :class:`EventLoop`.
+
+    Packets entering the path are serialised through a bandwidth-limited
+    queue (drop-tail when the backlog exceeds the configured capacity), then
+    experience the propagation delay plus optional Gaussian jitter, then are
+    delivered to the configured callback.  Random loss is applied on entry,
+    modelling loss on the bottleneck.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        config: PathConfig,
+        deliver: Callable[[Packet, float], None],
+    ) -> None:
+        self.loop = loop
+        self.config = config
+        self._deliver = deliver
+        self._rng = np.random.default_rng(config.seed)
+        self._queue_bytes = 0
+        # Time at which the transmitter finishes serialising the last queued packet.
+        self._link_free_at = 0.0
+        self.stats = PathStats()
+
+    def _current_bandwidth(self, time: float) -> float:
+        if self.config.bandwidth_trace is not None:
+            return self.config.bandwidth_trace.rate_at(time)
+        return self.config.bandwidth_bps
+
+    @property
+    def queued_bytes(self) -> int:
+        return self._queue_bytes
+
+    def queueing_delay(self) -> float:
+        """Current queueing delay a newly arriving packet would observe."""
+        return max(0.0, self._link_free_at - self.loop.now)
+
+    def send(self, packet: Packet) -> bool:
+        """Offer a packet to the path.  Returns False when the packet is lost
+        or dropped before delivery (the caller only learns through missing
+        acknowledgements, as on a real network)."""
+        self.stats.packets_offered += 1
+        now = self.loop.now
+
+        if self.config.loss_model.should_drop(self._rng):
+            self.stats.packets_lost_random += 1
+            return False
+
+        if self._queue_bytes + packet.size_bytes > self.config.queue_capacity_bytes:
+            self.stats.packets_dropped_queue += 1
+            return False
+
+        bandwidth = self._current_bandwidth(now)
+        serialization = packet.size_bits / bandwidth
+        start = max(now, self._link_free_at)
+        finish = start + serialization
+        self._link_free_at = finish
+        self._queue_bytes += packet.size_bytes
+        self.stats.max_queue_bytes = max(self.stats.max_queue_bytes, self._queue_bytes)
+
+        jitter = 0.0
+        if self.config.jitter_std_s > 0:
+            jitter = abs(float(self._rng.normal(0.0, self.config.jitter_std_s)))
+        arrival = finish + self.config.propagation_delay_s + jitter
+
+        def _dequeue() -> None:
+            self._queue_bytes -= packet.size_bytes
+
+        def _arrive() -> None:
+            self.stats.packets_delivered += 1
+            self.stats.bytes_delivered += packet.size_bytes
+            self._deliver(packet, self.loop.now)
+
+        self.loop.schedule_at(finish, _dequeue)
+        self.loop.schedule_at(arrival, _arrive)
+        return True
+
+
+class SymmetricPathPair:
+    """An uplink/downlink pair sharing an event loop.
+
+    The paper notes that AI Video Chat is asymmetric: video flows uplink only
+    while the MLLM reply (audio or text tokens) flows downlink at a much
+    lower rate.  The pair lets the transport model both directions, including
+    the feedback channel used for NACKs.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        uplink_config: PathConfig,
+        downlink_config: PathConfig,
+        deliver_uplink: Callable[[Packet, float], None],
+        deliver_downlink: Callable[[Packet, float], None],
+    ) -> None:
+        self.uplink = EmulatedPath(loop, uplink_config, deliver_uplink)
+        self.downlink = EmulatedPath(loop, downlink_config, deliver_downlink)

@@ -1,0 +1,144 @@
+"""Discrete-event simulation engine used by the RTC transport substrate.
+
+The paper's prototype (Section 2.2, Figure 3) measures how frame transmission
+latency responds to bitrate and packet loss over an emulated network.  We
+reproduce that prototype with a small but complete discrete-event simulator:
+events are scheduled at absolute simulated times and executed in time order,
+ties broken by insertion order so the simulation is fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation is driven in an inconsistent way."""
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    """Internal heap entry: ordering is (time, sequence number)."""
+
+    time: float
+    order: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`EventLoop.schedule` allowing cancellation."""
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Cancel the event.  Cancelling an already-run event is a no-op."""
+        self._event.cancelled = True
+
+
+class EventLoop:
+    """A deterministic discrete-event loop.
+
+    Time is measured in seconds as a float.  Events scheduled for the same
+    instant run in the order they were scheduled.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: list[_ScheduledEvent] = []
+        self._counter = itertools.count()
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` seconds from now.
+
+        Negative delays are rejected: the simulator never travels backwards.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at an absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time:.6f}, current time is {self._now:.6f}"
+            )
+        event = _ScheduledEvent(time=float(time), order=next(self._counter), callback=callback)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def step(self) -> bool:
+        """Run the next pending event.  Returns False when nothing is queued."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            self._processed += 1
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` have executed.
+
+        ``until`` is an absolute simulated time; events scheduled exactly at
+        ``until`` still run.  When the loop stops because of ``until``, the
+        clock is advanced to ``until`` so subsequent scheduling is relative to
+        the requested horizon.
+        """
+        executed = 0
+        while self._heap:
+            if max_events is not None and executed >= max_events:
+                return
+            event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and event.time > until:
+                self._now = max(self._now, until)
+                return
+            heapq.heappop(self._heap)
+            self._now = event.time
+            event.callback()
+            self._processed += 1
+            executed += 1
+        if until is not None:
+            self._now = max(self._now, until)
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> None:
+        """Run until no events remain; guard against runaway simulations."""
+        executed = 0
+        while self.step():
+            executed += 1
+            if executed >= max_events:
+                raise SimulationError(f"simulation did not converge within {max_events} events")

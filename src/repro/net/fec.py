@@ -1,0 +1,143 @@
+"""Forward error correction (FEC) over packet groups.
+
+Traditional RTC stacks (the paper cites Tambur, Hairpin, GRACE) add parity
+packets so that a limited number of losses can be repaired without waiting a
+round trip for retransmission.  We implement XOR-parity FEC over fixed-size
+groups of a frame's packets: one parity packet per group repairs any single
+loss inside that group.  The AI-oriented transport can trade this redundancy
+off against the ultra-low-bitrate operating point of Section 2.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from .packet import Packet, PacketType
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .packet import FrameAssembler, Packetizer
+
+
+@dataclass
+class FecConfig:
+    """FEC configuration.
+
+    ``group_size`` data packets are protected by one parity packet, so the
+    redundancy overhead is ``1 / group_size``.
+    """
+
+    group_size: int = 5
+
+    def __post_init__(self) -> None:
+        if self.group_size < 1:
+            raise ValueError("group_size must be at least 1")
+
+    @property
+    def overhead_ratio(self) -> float:
+        return 1.0 / self.group_size
+
+
+class FecEncoder:
+    """Produces parity packets for each frame's packet groups.
+
+    FEC packets live in their own sequence space so they do not create gaps
+    in the video sequence numbering used for NACK-based loss detection.
+    """
+
+    def __init__(self, config: FecConfig) -> None:
+        self.config = config
+        self._next_fec_sequence = 0
+
+    def protect(self, packets: list[Packet], packetizer: "Packetizer" = None) -> list[Packet]:
+        """Build one parity packet per ``group_size`` consecutive data packets."""
+        parity_packets: list[Packet] = []
+        group = self.config.group_size
+        for start in range(0, len(packets), group):
+            members = packets[start : start + group]
+            covered = tuple(p.index_in_frame for p in members)
+            size = max(p.size_bytes for p in members)
+            parity = Packet(
+                sequence=self._next_fec_sequence,
+                frame_id=members[0].frame_id,
+                index_in_frame=-1 - (start // group),
+                packets_in_frame=members[0].packets_in_frame,
+                size_bytes=size,
+                capture_time=members[0].capture_time,
+                packet_type=PacketType.FEC,
+                metadata={"covers": covered},
+            )
+            self._next_fec_sequence += 1
+            parity_packets.append(parity)
+        return parity_packets
+
+
+class FecDecoder:
+    """Recovers a single missing data packet per parity group.
+
+    The decoder tracks which data packets of each frame have been seen.  When
+    a parity packet arrives and exactly one of its covered packets is
+    missing, that packet is reconstructed (its size is taken from the parity
+    metadata — for latency accounting the payload content is irrelevant).
+    """
+
+    def __init__(self, config: Optional[FecConfig]) -> None:
+        self.config = config
+        self._seen: dict[int, dict[int, Packet]] = {}
+        self._pending_parity: dict[int, list[Packet]] = {}
+        self.recovered_packets = 0
+
+    def on_data_packet(self, packet: Packet) -> None:
+        self._seen.setdefault(packet.frame_id, {})[packet.index_in_frame] = packet
+
+    def on_fec_packet(
+        self, parity: Packet, assembler: "FrameAssembler"
+    ) -> list[Packet]:
+        """Attempt recovery with a parity packet.  Returns recovered packets."""
+        covers = parity.metadata.get("covers", ())
+        still_missing = set(assembler.missing_indices(parity.frame_id))
+        if assembler.is_complete(parity.frame_id):
+            return []
+        missing = sorted(index for index in covers if index in still_missing)
+        if len(missing) != 1:
+            # Either nothing to repair or more losses than the parity can fix.
+            self._pending_parity.setdefault(parity.frame_id, []).append(parity)
+            return []
+        index = missing[0]
+        recovered = Packet(
+            sequence=parity.sequence,
+            frame_id=parity.frame_id,
+            index_in_frame=index,
+            packets_in_frame=parity.packets_in_frame,
+            size_bytes=parity.size_bytes,
+            capture_time=parity.capture_time,
+            send_time=parity.send_time,
+            packet_type=PacketType.VIDEO,
+            metadata={"recovered_by_fec": True},
+        )
+        self._seen.setdefault(parity.frame_id, {})[index] = recovered
+        self.recovered_packets += 1
+        return [recovered]
+
+
+def fec_recovery_probability(packet_count: int, loss_rate: float, group_size: int) -> float:
+    """Analytic probability that a frame is decodable in one shot with XOR FEC.
+
+    A frame of ``packet_count`` packets split into groups of ``group_size``
+    (each with one parity packet) is decodable if every group loses at most
+    one of its ``k + 1`` packets.  Used to sanity-check the simulator and to
+    size redundancy in the traditional-RTC baseline.
+    """
+    if not 0.0 <= loss_rate < 1.0:
+        raise ValueError("loss_rate must be in [0, 1)")
+    if packet_count <= 0:
+        return 1.0
+    probability = 1.0
+    remaining = packet_count
+    while remaining > 0:
+        k = min(group_size, remaining)
+        n = k + 1
+        p_ok = (1 - loss_rate) ** n + n * loss_rate * (1 - loss_rate) ** (n - 1)
+        probability *= p_ok
+        remaining -= k
+    return probability

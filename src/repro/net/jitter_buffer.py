@@ -1,0 +1,165 @@
+"""Jitter buffer — and why AI Video Chat can remove it.
+
+Traditional RTC smooths out network-induced inter-frame jitter with a jitter
+buffer that holds frames for a target delay before playback, trading latency
+for smoothness.  Section 2.1 of the paper argues the buffer is unnecessary
+for an MLLM receiver: the model's perception of time comes from positional
+encodings derived from capture timestamps, not from the wall-clock arrival
+times, so jittered delivery does not change what the model sees.
+
+We implement both behaviours so the benchmark can quantify the latency the
+buffer adds and show that removing it leaves the MLLM input unchanged.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class BufferedFrame:
+    """A frame waiting inside the jitter buffer."""
+
+    frame_id: int
+    capture_time: float
+    arrival_time: float
+    release_time: float
+    payload: object = None
+
+
+@dataclass
+class JitterBufferConfig:
+    """Configuration of the adaptive jitter buffer."""
+
+    #: Initial playout delay added on top of the first frame's arrival.
+    initial_delay_s: float = 0.050
+    #: Minimum and maximum playout delay the adaptation may choose.
+    min_delay_s: float = 0.010
+    max_delay_s: float = 0.500
+    #: How aggressively the target delay tracks observed jitter (in standard
+    #: deviations of inter-arrival error), mirroring the NetEQ-style rule.
+    jitter_multiplier: float = 4.0
+    #: Exponential smoothing factor for the jitter estimate.
+    smoothing: float = 0.1
+
+
+class JitterBuffer:
+    """An adaptive playout buffer for human-oriented RTC.
+
+    Frames are released no earlier than ``capture_time + playout_delay`` on a
+    reconstructed playback clock, which converts arrival jitter into added
+    latency — exactly the cost the paper proposes to eliminate for MLLM
+    receivers.
+    """
+
+    def __init__(self, config: Optional[JitterBufferConfig] = None) -> None:
+        self.config = config or JitterBufferConfig()
+        self._queue: deque[BufferedFrame] = deque()
+        self._playout_delay = self.config.initial_delay_s
+        self._jitter_estimate = 0.0
+        self._last_transit: Optional[float] = None
+        self.released: list[BufferedFrame] = []
+
+    @property
+    def playout_delay_s(self) -> float:
+        return self._playout_delay
+
+    @property
+    def jitter_estimate_s(self) -> float:
+        return self._jitter_estimate
+
+    def _update_jitter(self, capture_time: float, arrival_time: float) -> None:
+        transit = arrival_time - capture_time
+        if self._last_transit is not None:
+            deviation = abs(transit - self._last_transit)
+            alpha = self.config.smoothing
+            self._jitter_estimate = (1 - alpha) * self._jitter_estimate + alpha * deviation
+        self._last_transit = transit
+        target = self.config.initial_delay_s + self.config.jitter_multiplier * self._jitter_estimate
+        self._playout_delay = float(
+            np.clip(target, self.config.min_delay_s, self.config.max_delay_s)
+        )
+
+    def push(self, frame_id: int, capture_time: float, arrival_time: float, payload: object = None) -> BufferedFrame:
+        """Insert a frame; its release time is arrival plus the residual hold."""
+        self._update_jitter(capture_time, arrival_time)
+        # Release when the playback clock (capture + playout delay, measured
+        # against the earliest observed transit) reaches this frame.
+        base_transit = self._last_transit if self._last_transit is not None else 0.0
+        release_time = max(arrival_time, capture_time + base_transit + self._playout_delay)
+        frame = BufferedFrame(
+            frame_id=frame_id,
+            capture_time=capture_time,
+            arrival_time=arrival_time,
+            release_time=release_time,
+            payload=payload,
+        )
+        self._queue.append(frame)
+        return frame
+
+    def pop_ready(self, now: float) -> list[BufferedFrame]:
+        """Release every queued frame whose release time has passed."""
+        ready: list[BufferedFrame] = []
+        while self._queue and self._queue[0].release_time <= now:
+            frame = self._queue.popleft()
+            ready.append(frame)
+            self.released.append(frame)
+        return ready
+
+    @property
+    def depth(self) -> int:
+        return len(self._queue)
+
+    def added_latency(self) -> float:
+        """Mean extra latency (release - arrival) over all released frames."""
+        if not self.released:
+            return 0.0
+        return float(np.mean([f.release_time - f.arrival_time for f in self.released]))
+
+
+class PassthroughBuffer:
+    """The AI-oriented alternative: frames are handed over on arrival.
+
+    Because the MLLM orders frames by capture timestamp (positional
+    encoding), no reordering delay is needed; this buffer adds zero latency
+    and simply records the delivery order for the equivalence benchmark.
+    """
+
+    def __init__(self) -> None:
+        self.released: list[BufferedFrame] = []
+
+    def push(self, frame_id: int, capture_time: float, arrival_time: float, payload: object = None) -> BufferedFrame:
+        frame = BufferedFrame(
+            frame_id=frame_id,
+            capture_time=capture_time,
+            arrival_time=arrival_time,
+            release_time=arrival_time,
+            payload=payload,
+        )
+        self.released.append(frame)
+        return frame
+
+    def pop_ready(self, now: float) -> list[BufferedFrame]:
+        ready = [f for f in self.released if f.release_time <= now and f not in ()]
+        return ready
+
+    def added_latency(self) -> float:
+        return 0.0
+
+    @property
+    def depth(self) -> int:
+        return 0
+
+
+def frames_in_capture_order(frames: list[BufferedFrame]) -> list[BufferedFrame]:
+    """Order frames the way an MLLM consumes them: by capture timestamp.
+
+    This is the crux of the "jitter has no impact" argument — regardless of
+    arrival jitter or ordering, sorting by capture time yields an identical
+    model input.
+    """
+    return sorted(frames, key=lambda frame: (frame.capture_time, frame.frame_id))

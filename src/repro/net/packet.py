@@ -1,0 +1,213 @@
+"""Packets and frame packetisation.
+
+The paper observes (Section 2.2) that each packet carries roughly 1400 bytes
+of payload, so higher bitrates mean more packets per frame, and with packet
+loss the probability that a frame arrives complete in one attempt falls as
+the packet count grows.  This module models exactly that: encoded frames are
+split into MTU-sized packets with RTP-like sequencing metadata.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Optional
+
+#: Default payload size used by the paper's prototype ("around 1400 bytes").
+DEFAULT_MTU_BYTES = 1400
+
+
+class PacketType(Enum):
+    """Kinds of packets exchanged by the unidirectional video transport."""
+
+    VIDEO = "video"
+    RETRANSMISSION = "retransmission"
+    FEC = "fec"
+    NACK = "nack"
+    ACK = "ack"
+    REPLY = "reply"  # downlink audio/text tokens from the MLLM
+
+
+@dataclass
+class Packet:
+    """A single transport packet.
+
+    Attributes mirror what a WebRTC video RTP packet would carry: a global
+    sequence number, the frame it belongs to, its index within the frame, and
+    the capture timestamp (used by the MLLM positional encoding, which is why
+    jitter does not matter for the receiver — Section 2.1).
+    """
+
+    sequence: int
+    frame_id: int
+    index_in_frame: int
+    packets_in_frame: int
+    size_bytes: int
+    capture_time: float
+    send_time: float = 0.0
+    packet_type: PacketType = PacketType.VIDEO
+    payload: Optional[bytes] = None
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def is_last_in_frame(self) -> bool:
+        return self.index_in_frame == self.packets_in_frame - 1
+
+    @property
+    def size_bits(self) -> int:
+        return self.size_bytes * 8
+
+
+@dataclass
+class NackRequest:
+    """A receiver-to-sender request to retransmit specific packets of a frame."""
+
+    frame_id: int
+    missing_indices: tuple[int, ...]
+    request_time: float
+    size_bytes: int = 64
+
+
+@dataclass
+class SequenceNackRequest:
+    """A retransmission request addressed by global sequence numbers.
+
+    This is how WebRTC's transport-wide NACK works: the receiver detects gaps
+    in the sequence-number space (which also catches frames whose packets were
+    *all* lost, as soon as a later packet arrives) and asks the sender to
+    resend those sequences.
+    """
+
+    missing_sequences: tuple[int, ...]
+    request_time: float
+    size_bytes: int = 64
+
+
+class Packetizer:
+    """Split encoded frames into MTU-sized packets with monotone sequencing."""
+
+    def __init__(self, mtu_bytes: int = DEFAULT_MTU_BYTES) -> None:
+        if mtu_bytes <= 0:
+            raise ValueError(f"mtu_bytes must be positive, got {mtu_bytes}")
+        self.mtu_bytes = int(mtu_bytes)
+        self._next_sequence = 0
+
+    def packet_count_for(self, frame_bytes: int) -> int:
+        """Number of packets needed to carry ``frame_bytes`` of payload."""
+        if frame_bytes <= 0:
+            return 1
+        return max(1, math.ceil(frame_bytes / self.mtu_bytes))
+
+    def packetize(
+        self,
+        frame_id: int,
+        frame_bytes: int,
+        capture_time: float,
+        packet_type: PacketType = PacketType.VIDEO,
+    ) -> list[Packet]:
+        """Build the packet sequence for one encoded frame.
+
+        The final packet carries the remainder so total bytes are preserved.
+        """
+        frame_bytes = max(1, int(frame_bytes))
+        count = self.packet_count_for(frame_bytes)
+        packets: list[Packet] = []
+        remaining = frame_bytes
+        for index in range(count):
+            size = min(self.mtu_bytes, remaining)
+            remaining -= size
+            packets.append(
+                Packet(
+                    sequence=self._next_sequence,
+                    frame_id=frame_id,
+                    index_in_frame=index,
+                    packets_in_frame=count,
+                    size_bytes=size,
+                    capture_time=capture_time,
+                    packet_type=packet_type,
+                )
+            )
+            self._next_sequence += 1
+        return packets
+
+    def retransmission_copy(self, packet: Packet, request_time: float) -> Packet:
+        """Create a retransmission packet for a previously sent packet.
+
+        The copy keeps the original sequence number (RTX-style), so the
+        receiver's gap accounting treats it as filling the original hole.
+        """
+        return Packet(
+            sequence=packet.sequence,
+            frame_id=packet.frame_id,
+            index_in_frame=packet.index_in_frame,
+            packets_in_frame=packet.packets_in_frame,
+            size_bytes=packet.size_bytes,
+            capture_time=packet.capture_time,
+            packet_type=PacketType.RETRANSMISSION,
+            metadata={"original_sequence": packet.sequence, "request_time": request_time},
+        )
+
+
+class FrameAssembler:
+    """Receiver-side reassembly of frames from packets.
+
+    Tracks, per frame, which packet indices have arrived and reports
+    completion.  The frame transmission latency in Figure 3 is the time from
+    the first packet's send time to the arrival of the last missing packet.
+    """
+
+    def __init__(self) -> None:
+        self._received: dict[int, set[int]] = {}
+        self._expected: dict[int, int] = {}
+        self._first_send_time: dict[int, float] = {}
+        self._complete_time: dict[int, float] = {}
+        self._capture_time: dict[int, float] = {}
+        self._bytes: dict[int, int] = {}
+
+    def on_packet(self, packet: Packet, arrival_time: float) -> bool:
+        """Register an arriving packet.  Returns True when its frame completes."""
+        frame_id = packet.frame_id
+        if frame_id not in self._received:
+            self._received[frame_id] = set()
+            self._expected[frame_id] = packet.packets_in_frame
+            self._first_send_time[frame_id] = packet.send_time
+            self._capture_time[frame_id] = packet.capture_time
+            self._bytes[frame_id] = 0
+        else:
+            self._first_send_time[frame_id] = min(
+                self._first_send_time[frame_id], packet.send_time
+            )
+        already_complete = frame_id in self._complete_time
+        if packet.index_in_frame not in self._received[frame_id]:
+            self._received[frame_id].add(packet.index_in_frame)
+            self._bytes[frame_id] += packet.size_bytes
+        if already_complete:
+            return False
+        if len(self._received[frame_id]) >= self._expected[frame_id]:
+            self._complete_time[frame_id] = arrival_time
+            return True
+        return False
+
+    def missing_indices(self, frame_id: int) -> tuple[int, ...]:
+        """Indices of packets of ``frame_id`` not yet received."""
+        if frame_id not in self._received:
+            return ()
+        expected = self._expected[frame_id]
+        have = self._received[frame_id]
+        return tuple(index for index in range(expected) if index not in have)
+
+    def is_complete(self, frame_id: int) -> bool:
+        return frame_id in self._complete_time
+
+    def completion_time(self, frame_id: int) -> Optional[float]:
+        return self._complete_time.get(frame_id)
+
+    def capture_time(self, frame_id: int) -> Optional[float]:
+        return self._capture_time.get(frame_id)
+
+    def received_bytes(self, frame_id: int) -> int:
+        return self._bytes.get(frame_id, 0)
+
+    def known_frames(self) -> Iterable[int]:
+        return self._received.keys()

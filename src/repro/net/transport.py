@@ -1,0 +1,472 @@
+"""Unidirectional video transport with NACK-based retransmission.
+
+This is the reproduction of the paper's prototype (Section 2.2): a
+WebRTC-style transport that packetises each encoded frame, sends the packets
+over an emulated uplink, and recovers losses with NACK-triggered
+retransmissions over a feedback channel.  The statistic of interest is the
+frame transmission latency — the time from a frame being sent to being
+completely received — which Figure 3 sweeps against bitrate and loss rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from .emulator import BernoulliLoss, EmulatedPath, PathConfig
+from .events import EventLoop
+from .fec import FecConfig, FecEncoder, FecDecoder
+from .packet import (
+    DEFAULT_MTU_BYTES,
+    FrameAssembler,
+    NackRequest,
+    Packet,
+    Packetizer,
+    PacketType,
+    SequenceNackRequest,
+)
+from .stats import TransportStats
+
+
+@dataclass
+class TransportConfig:
+    """Configuration of the unidirectional video transport."""
+
+    mtu_bytes: int = DEFAULT_MTU_BYTES
+    enable_nack: bool = True
+    #: Extra margin added to the estimated frame delivery time before the
+    #: receiver first checks for missing packets.
+    nack_check_margin_s: float = 0.005
+    #: Interval between successive NACK rounds (roughly one RTT in WebRTC).
+    nack_retry_interval_s: float = 0.065
+    #: Retransmission rounds after which the receiver gives up on a frame.
+    max_nack_rounds: int = 20
+    #: Optional forward error correction applied per frame.
+    fec: Optional[FecConfig] = None
+
+
+@dataclass
+class FrameDeliveryEvent:
+    """Emitted by the receiver when a frame completes reassembly."""
+
+    frame_id: int
+    capture_time: float
+    send_time: float
+    complete_time: float
+    size_bytes: int
+
+    @property
+    def transmission_latency(self) -> float:
+        return self.complete_time - self.send_time
+
+
+class VideoSender:
+    """Sender half of the transport: packetises frames and serves NACKs."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        uplink: EmulatedPath,
+        config: TransportConfig,
+        stats: TransportStats,
+    ) -> None:
+        self.loop = loop
+        self.uplink = uplink
+        self.config = config
+        self.stats = stats
+        self.packetizer = Packetizer(config.mtu_bytes)
+        self._sent_packets: dict[int, dict[int, Packet]] = {}
+        self._packet_by_sequence: dict[int, Packet] = {}
+        self._last_retransmit_time: dict[int, float] = {}
+        self._fec_encoder = FecEncoder(config.fec) if config.fec else None
+        self.bytes_sent = 0
+        self.packets_sent = 0
+        self.retransmissions_sent = 0
+
+    def send_frame(self, frame_id: int, size_bytes: int, capture_time: float) -> list[Packet]:
+        """Packetise and transmit one encoded frame."""
+        now = self.loop.now
+        packets = self.packetizer.packetize(frame_id, size_bytes, capture_time)
+        self._sent_packets[frame_id] = {p.index_in_frame: p for p in packets}
+        for packet in packets:
+            self._packet_by_sequence[packet.sequence] = packet
+        self.stats.register_frame(
+            frame_id=frame_id,
+            capture_time=capture_time,
+            send_time=now,
+            size_bytes=size_bytes,
+            packet_count=len(packets),
+        )
+        for packet in packets:
+            self._transmit(packet)
+        if self._fec_encoder is not None:
+            for fec_packet in self._fec_encoder.protect(packets, self.packetizer):
+                self._transmit(fec_packet)
+        return packets
+
+    def _transmit(self, packet: Packet) -> None:
+        packet.send_time = self.loop.now
+        self.bytes_sent += packet.size_bytes
+        self.packets_sent += 1
+        self.uplink.send(packet)
+
+    def _retransmit(self, original: Packet, request_time: float) -> bool:
+        """Retransmit a packet unless it was resent very recently (dedup)."""
+        last = self._last_retransmit_time.get(original.sequence)
+        if last is not None and self.loop.now - last < self.config.nack_retry_interval_s / 2:
+            return False
+        self._last_retransmit_time[original.sequence] = self.loop.now
+        copy = self.packetizer.retransmission_copy(original, request_time)
+        self._transmit(copy)
+        self.retransmissions_sent += 1
+        return True
+
+    def on_nack(self, request: NackRequest) -> None:
+        """Handle a per-frame NACK by retransmitting the missing packet indices."""
+        frame_packets = self._sent_packets.get(request.frame_id)
+        if not frame_packets:
+            return
+        retransmitted = 0
+        for index in request.missing_indices:
+            original = frame_packets.get(index)
+            if original is None:
+                continue
+            if self._retransmit(original, request.request_time):
+                retransmitted += 1
+        if retransmitted:
+            self.stats.record_retransmission(request.frame_id, retransmitted)
+
+    def on_sequence_nack(self, request: SequenceNackRequest) -> None:
+        """Handle a sequence-number NACK (covers fully lost frames)."""
+        retransmitted_by_frame: dict[int, int] = {}
+        for sequence in request.missing_sequences:
+            original = self._packet_by_sequence.get(sequence)
+            if original is None:
+                continue
+            if self._retransmit(original, request.request_time):
+                retransmitted_by_frame[original.frame_id] = (
+                    retransmitted_by_frame.get(original.frame_id, 0) + 1
+                )
+        for frame_id, count in retransmitted_by_frame.items():
+            self.stats.record_retransmission(frame_id, count)
+
+    def forget_frame(self, frame_id: int) -> None:
+        """Drop retransmission state for a frame (e.g. once it is obsolete)."""
+        packets = self._sent_packets.pop(frame_id, None)
+        if packets:
+            for packet in packets.values():
+                self._packet_by_sequence.pop(packet.sequence, None)
+
+
+class VideoReceiver:
+    """Receiver half of the transport: reassembles frames and issues NACKs."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        config: TransportConfig,
+        stats: TransportStats,
+        send_nack: Callable[[NackRequest], None],
+        on_frame: Optional[Callable[[FrameDeliveryEvent], None]] = None,
+        send_sequence_nack: Optional[Callable[[SequenceNackRequest], None]] = None,
+    ) -> None:
+        self.loop = loop
+        self.config = config
+        self.stats = stats
+        self.assembler = FrameAssembler()
+        self._send_nack = send_nack
+        self._send_sequence_nack = send_sequence_nack
+        self._on_frame = on_frame
+        self._nack_rounds: dict[int, int] = {}
+        self._check_scheduled: set[int] = set()
+        self._frame_meta: dict[int, tuple[float, float, int]] = {}
+        self._fec_decoder = FecDecoder(config.fec) if config.fec else None
+        self.delivered_frames: list[FrameDeliveryEvent] = []
+        # Sequence-gap tracking (covers frames whose packets were all lost).
+        # ``_missing_sequences`` holds sequences observed as gaps and not yet received.
+        self._missing_sequences: set[int] = set()
+        self._highest_sequence: int = -1
+        self._missing_sequence_rounds: dict[int, int] = {}
+        self._sequence_check_pending = False
+
+    def on_packet(self, packet: Packet, arrival_time: float) -> None:
+        if packet.packet_type == PacketType.FEC:
+            recovered = None
+            if self._fec_decoder is not None:
+                recovered = self._fec_decoder.on_fec_packet(packet, self.assembler)
+            if recovered:
+                for data_packet in recovered:
+                    self._accept(data_packet, arrival_time)
+            return
+        if self._fec_decoder is not None:
+            self._fec_decoder.on_data_packet(packet)
+        self._accept(packet, arrival_time)
+
+    def _accept(self, packet: Packet, arrival_time: float) -> None:
+        self._track_sequence(packet)
+        frame_id = packet.frame_id
+        if frame_id not in self._frame_meta:
+            self._frame_meta[frame_id] = (packet.capture_time, packet.send_time, 0)
+        capture_time, first_send, size = self._frame_meta[frame_id]
+        first_send = min(first_send, packet.send_time) if size else packet.send_time
+        self._frame_meta[frame_id] = (capture_time, first_send, size + packet.size_bytes)
+
+        completed = self.assembler.on_packet(packet, arrival_time)
+        if completed:
+            self._complete_frame(frame_id, arrival_time)
+        elif (
+            self.config.enable_nack
+            and packet.is_last_in_frame
+            and frame_id not in self._check_scheduled
+        ):
+            # Only once the frame's final packet has arrived do we know the
+            # remaining holes are losses rather than packets still in flight.
+            self._check_scheduled.add(frame_id)
+            self.loop.schedule(self.config.nack_check_margin_s, lambda: self._check_frame(frame_id))
+
+    def _complete_frame(self, frame_id: int, complete_time: float) -> None:
+        self.stats.record_completion(frame_id, complete_time)
+        capture_time, send_time, size = self._frame_meta.get(frame_id, (0.0, 0.0, 0))
+        event = FrameDeliveryEvent(
+            frame_id=frame_id,
+            capture_time=capture_time,
+            send_time=send_time,
+            complete_time=complete_time,
+            size_bytes=size,
+        )
+        self.delivered_frames.append(event)
+        if self._on_frame is not None:
+            self._on_frame(event)
+
+    def _check_frame(self, frame_id: int) -> None:
+        """Periodic per-frame check: request whatever is still missing."""
+        if self.assembler.is_complete(frame_id):
+            return
+        missing = self.assembler.missing_indices(frame_id)
+        if not missing:
+            return
+        rounds = self._nack_rounds.get(frame_id, 0)
+        if rounds >= self.config.max_nack_rounds:
+            return
+        self._nack_rounds[frame_id] = rounds + 1
+        request = NackRequest(
+            frame_id=frame_id,
+            missing_indices=missing,
+            request_time=self.loop.now,
+        )
+        self._send_nack(request)
+        self.loop.schedule(self.config.nack_retry_interval_s, lambda: self._check_frame(frame_id))
+
+    # --- sequence-gap detection ------------------------------------------
+
+    def _track_sequence(self, packet: Packet) -> None:
+        """Record a received sequence number and arm gap detection."""
+        if packet.sequence < 0:
+            return
+        self._missing_sequences.discard(packet.sequence)
+        self._missing_sequence_rounds.pop(packet.sequence, None)
+        if packet.sequence > self._highest_sequence:
+            # Every sequence skipped over is a new gap candidate.
+            for sequence in range(self._highest_sequence + 1, packet.sequence):
+                self._missing_sequences.add(sequence)
+                self._missing_sequence_rounds.setdefault(sequence, 0)
+            self._highest_sequence = packet.sequence
+        if not self.config.enable_nack or self._send_sequence_nack is None:
+            return
+        if self._missing_sequences and not self._sequence_check_pending:
+            self._sequence_check_pending = True
+            self.loop.schedule(self.config.nack_check_margin_s, self._check_sequences)
+
+    def _sequence_gaps(self) -> list[int]:
+        """Sequence numbers below the highest seen that have not arrived."""
+        return sorted(
+            sequence
+            for sequence in self._missing_sequences
+            if self._missing_sequence_rounds.get(sequence, 0) < self.config.max_nack_rounds
+        )
+
+    def _check_sequences(self) -> None:
+        self._sequence_check_pending = False
+        gaps = self._sequence_gaps()
+        if not gaps:
+            return
+        for sequence in gaps:
+            self._missing_sequence_rounds[sequence] = (
+                self._missing_sequence_rounds.get(sequence, 0) + 1
+            )
+        request = SequenceNackRequest(
+            missing_sequences=tuple(gaps),
+            request_time=self.loop.now,
+        )
+        if self._send_sequence_nack is not None:
+            self._send_sequence_nack(request)
+        self._sequence_check_pending = True
+        self.loop.schedule(self.config.nack_retry_interval_s, self._check_sequences)
+
+
+class VideoTransportSession:
+    """A complete sender/receiver pair over an emulated uplink and feedback path.
+
+    The feedback path carries NACKs from the receiver back to the sender with
+    its own propagation delay (the downlink in the paper's asymmetric setup).
+    """
+
+    def __init__(
+        self,
+        uplink_config: Optional[PathConfig] = None,
+        feedback_config: Optional[PathConfig] = None,
+        transport_config: Optional[TransportConfig] = None,
+        on_frame: Optional[Callable[[FrameDeliveryEvent], None]] = None,
+    ) -> None:
+        self.loop = EventLoop()
+        self.transport_config = transport_config or TransportConfig()
+        self.stats = TransportStats()
+
+        uplink_config = uplink_config or PathConfig()
+        feedback_config = feedback_config or PathConfig(
+            bandwidth_bps=uplink_config.bandwidth_bps,
+            propagation_delay_s=uplink_config.propagation_delay_s,
+            loss_model=BernoulliLoss(0.0),
+            seed=uplink_config.seed + 1,
+        )
+
+        self.uplink = EmulatedPath(self.loop, uplink_config, self._deliver_uplink)
+        self.feedback = EmulatedPath(self.loop, feedback_config, self._deliver_feedback)
+
+        self.receiver = VideoReceiver(
+            self.loop,
+            self.transport_config,
+            self.stats,
+            send_nack=self._queue_nack,
+            on_frame=on_frame,
+            send_sequence_nack=self._queue_sequence_nack,
+        )
+        self.sender = VideoSender(self.loop, self.uplink, self.transport_config, self.stats)
+        self._nack_sequence = 0
+
+    # --- wiring ---------------------------------------------------------
+
+    def _deliver_uplink(self, packet: Packet, arrival_time: float) -> None:
+        self.receiver.on_packet(packet, arrival_time)
+
+    def _queue_nack(self, request: NackRequest) -> None:
+        packet = Packet(
+            sequence=self._nack_sequence,
+            frame_id=request.frame_id,
+            index_in_frame=0,
+            packets_in_frame=1,
+            size_bytes=request.size_bytes,
+            capture_time=request.request_time,
+            send_time=self.loop.now,
+            packet_type=PacketType.NACK,
+            metadata={"request": request},
+        )
+        self._nack_sequence += 1
+        self.feedback.send(packet)
+
+    def _queue_sequence_nack(self, request: SequenceNackRequest) -> None:
+        packet = Packet(
+            sequence=self._nack_sequence,
+            frame_id=-1,
+            index_in_frame=0,
+            packets_in_frame=1,
+            size_bytes=request.size_bytes,
+            capture_time=request.request_time,
+            send_time=self.loop.now,
+            packet_type=PacketType.NACK,
+            metadata={"request": request},
+        )
+        self._nack_sequence += 1
+        self.feedback.send(packet)
+
+    def _deliver_feedback(self, packet: Packet, arrival_time: float) -> None:
+        request = packet.metadata.get("request")
+        if isinstance(request, NackRequest):
+            self.sender.on_nack(request)
+        elif isinstance(request, SequenceNackRequest):
+            self.sender.on_sequence_nack(request)
+
+    # --- driving --------------------------------------------------------
+
+    def send_frame(self, frame_id: int, size_bytes: int, capture_time: Optional[float] = None) -> None:
+        capture = self.loop.now if capture_time is None else capture_time
+        self.sender.send_frame(frame_id, size_bytes, capture)
+
+    def run(self, until: Optional[float] = None) -> None:
+        if until is None:
+            self.loop.run_until_idle()
+        else:
+            self.loop.run(until=until)
+
+
+@dataclass
+class FixedBitrateWorkload:
+    """A constant-bitrate video source: ``bitrate_bps`` split across ``fps`` frames.
+
+    ``iframe_interval`` and ``iframe_scale`` optionally make every Nth frame
+    larger, mimicking the I/P structure of a real encoder, while keeping the
+    long-run average at the target bitrate.
+    """
+
+    bitrate_bps: float
+    fps: float = 30.0
+    iframe_interval: int = 0
+    iframe_scale: float = 3.0
+    size_jitter: float = 0.0
+    seed: int = 0
+
+    def frame_sizes(self, count: int) -> np.ndarray:
+        if count <= 0:
+            return np.zeros(0, dtype=int)
+        base = self.bitrate_bps / self.fps / 8.0
+        sizes = np.full(count, base, dtype=float)
+        if self.iframe_interval and self.iframe_interval > 0:
+            is_iframe = np.arange(count) % self.iframe_interval == 0
+            n_i = int(is_iframe.sum())
+            n_p = count - n_i
+            if n_p > 0:
+                # Preserve the average: scale I-frames up, P-frames down.
+                p_scale = (count - n_i * self.iframe_scale) / n_p
+                p_scale = max(p_scale, 0.1)
+                sizes[is_iframe] = base * self.iframe_scale
+                sizes[~is_iframe] = base * p_scale
+        if self.size_jitter > 0:
+            rng = np.random.default_rng(self.seed)
+            sizes *= rng.normal(1.0, self.size_jitter, size=count).clip(0.3, 3.0)
+        return np.maximum(sizes, 1).astype(int)
+
+
+def run_fixed_bitrate_session(
+    bitrate_bps: float,
+    duration_s: float,
+    fps: float = 30.0,
+    uplink_config: Optional[PathConfig] = None,
+    feedback_config: Optional[PathConfig] = None,
+    transport_config: Optional[TransportConfig] = None,
+    workload: Optional[FixedBitrateWorkload] = None,
+) -> TransportStats:
+    """Run a constant-bitrate transmission and return per-frame statistics.
+
+    This is the primitive behind the Figure 3 reproduction: sweep
+    ``bitrate_bps`` and the path loss rate, and look at the frame
+    transmission latency distribution.
+    """
+    session = VideoTransportSession(uplink_config, feedback_config, transport_config)
+    workload = workload or FixedBitrateWorkload(bitrate_bps=bitrate_bps, fps=fps)
+    frame_count = max(1, int(round(duration_s * workload.fps)))
+    sizes = workload.frame_sizes(frame_count)
+    interval = 1.0 / workload.fps
+
+    for frame_id in range(frame_count):
+        capture_time = frame_id * interval
+
+        def _send(frame_id: int = frame_id, size: int = int(sizes[frame_id]), t: float = capture_time) -> None:
+            session.send_frame(frame_id, size, capture_time=t)
+
+        session.loop.schedule_at(capture_time, _send)
+
+    # Allow in-flight retransmissions to settle after the last frame is sent.
+    session.run(until=duration_s + 5.0)
+    return session.stats

@@ -1,0 +1,156 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.events import EventLoop, SimulationError
+
+
+class TestEventLoopBasics:
+    def test_initial_time_defaults_to_zero(self):
+        assert EventLoop().now == 0.0
+
+    def test_initial_time_can_be_set(self):
+        assert EventLoop(start_time=5.0).now == 5.0
+
+    def test_schedule_and_run_single_event(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.5, lambda: fired.append(loop.now))
+        loop.run_until_idle()
+        assert fired == [1.5]
+
+    def test_events_run_in_time_order(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(2.0, lambda: order.append("b"))
+        loop.schedule(1.0, lambda: order.append("a"))
+        loop.schedule(3.0, lambda: order.append("c"))
+        loop.run_until_idle()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_run_in_insertion_order(self):
+        loop = EventLoop()
+        order = []
+        for name in "abcde":
+            loop.schedule(1.0, lambda n=name: order.append(n))
+        loop.run_until_idle()
+        assert order == list("abcde")
+
+    def test_negative_delay_rejected(self):
+        loop = EventLoop()
+        with pytest.raises(SimulationError):
+            loop.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_in_past_rejected(self):
+        loop = EventLoop(start_time=10.0)
+        with pytest.raises(SimulationError):
+            loop.schedule_at(9.0, lambda: None)
+
+    def test_clock_advances_to_event_time(self):
+        loop = EventLoop()
+        loop.schedule(4.2, lambda: None)
+        loop.run_until_idle()
+        assert loop.now == pytest.approx(4.2)
+
+    def test_processed_counter(self):
+        loop = EventLoop()
+        for _ in range(7):
+            loop.schedule(0.1, lambda: None)
+        loop.run_until_idle()
+        assert loop.processed == 7
+
+
+class TestEventLoopControl:
+    def test_run_until_stops_before_later_events(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, lambda: fired.append(1))
+        loop.schedule(5.0, lambda: fired.append(5))
+        loop.run(until=2.0)
+        assert fired == [1]
+        assert loop.now == pytest.approx(2.0)
+        assert loop.pending == 1
+
+    def test_run_until_includes_events_exactly_at_horizon(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(2.0, lambda: fired.append(2))
+        loop.run(until=2.0)
+        assert fired == [2]
+
+    def test_run_max_events(self):
+        loop = EventLoop()
+        fired = []
+        for i in range(10):
+            loop.schedule(0.1 * (i + 1), lambda i=i: fired.append(i))
+        loop.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_step_returns_false_when_empty(self):
+        assert EventLoop().step() is False
+
+    def test_cancelled_event_does_not_run(self):
+        loop = EventLoop()
+        fired = []
+        handle = loop.schedule(1.0, lambda: fired.append("cancelled"))
+        loop.schedule(2.0, lambda: fired.append("kept"))
+        handle.cancel()
+        loop.run_until_idle()
+        assert fired == ["kept"]
+        assert handle.cancelled
+
+    def test_events_scheduled_during_execution_run(self):
+        loop = EventLoop()
+        fired = []
+
+        def chain():
+            fired.append(loop.now)
+            if len(fired) < 3:
+                loop.schedule(1.0, chain)
+
+        loop.schedule(1.0, chain)
+        loop.run_until_idle()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_run_until_idle_guards_against_runaway(self):
+        loop = EventLoop()
+
+        def forever():
+            loop.schedule(0.001, forever)
+
+        loop.schedule(0.0, forever)
+        with pytest.raises(SimulationError):
+            loop.run_until_idle(max_events=100)
+
+    def test_pending_excludes_cancelled(self):
+        loop = EventLoop()
+        handle = loop.schedule(1.0, lambda: None)
+        loop.schedule(2.0, lambda: None)
+        handle.cancel()
+        assert loop.pending == 1
+
+
+class TestEventLoopProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1000.0), min_size=1, max_size=50))
+    def test_execution_times_are_sorted(self, delays):
+        loop = EventLoop()
+        times = []
+        for delay in delays:
+            loop.schedule(delay, lambda: times.append(loop.now))
+        loop.run_until_idle()
+        assert times == sorted(times)
+        assert len(times) == len(delays)
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=30),
+        st.floats(min_value=0.0, max_value=100.0),
+    )
+    def test_run_until_never_executes_future_events(self, delays, horizon):
+        loop = EventLoop()
+        executed = []
+        for delay in delays:
+            loop.schedule(delay, lambda d=delay: executed.append(d))
+        loop.run(until=horizon)
+        assert all(d <= horizon for d in executed)
+        assert loop.now >= horizon or not delays

@@ -1,0 +1,166 @@
+"""Tests for packetisation and frame reassembly."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.packet import (
+    DEFAULT_MTU_BYTES,
+    FrameAssembler,
+    Packet,
+    Packetizer,
+    PacketType,
+)
+
+
+class TestPacketizer:
+    def test_small_frame_is_single_packet(self):
+        packets = Packetizer().packetize(frame_id=0, frame_bytes=500, capture_time=0.0)
+        assert len(packets) == 1
+        assert packets[0].size_bytes == 500
+
+    def test_packet_count_matches_mtu_division(self):
+        packetizer = Packetizer(mtu_bytes=1000)
+        packets = packetizer.packetize(frame_id=0, frame_bytes=2500, capture_time=0.0)
+        assert len(packets) == 3
+        assert [p.size_bytes for p in packets] == [1000, 1000, 500]
+
+    def test_total_bytes_preserved(self):
+        packetizer = Packetizer()
+        for size in [1, 1399, 1400, 1401, 9999, 100_000]:
+            packets = packetizer.packetize(frame_id=0, frame_bytes=size, capture_time=0.0)
+            assert sum(p.size_bytes for p in packets) == size
+
+    def test_sequence_numbers_are_monotone_across_frames(self):
+        packetizer = Packetizer()
+        first = packetizer.packetize(0, 5000, 0.0)
+        second = packetizer.packetize(1, 5000, 0.033)
+        sequences = [p.sequence for p in first + second]
+        assert sequences == list(range(len(sequences)))
+
+    def test_packets_in_frame_and_indices(self):
+        packets = Packetizer(mtu_bytes=100).packetize(0, 450, 0.0)
+        assert all(p.packets_in_frame == 5 for p in packets)
+        assert [p.index_in_frame for p in packets] == [0, 1, 2, 3, 4]
+        assert packets[-1].is_last_in_frame
+        assert not packets[0].is_last_in_frame
+
+    def test_default_mtu_is_1400(self):
+        assert DEFAULT_MTU_BYTES == 1400
+        assert Packetizer().mtu_bytes == 1400
+
+    def test_zero_or_negative_frame_bytes_yields_one_packet(self):
+        packets = Packetizer().packetize(0, 0, 0.0)
+        assert len(packets) == 1
+        assert packets[0].size_bytes >= 1
+
+    def test_invalid_mtu_rejected(self):
+        with pytest.raises(ValueError):
+            Packetizer(mtu_bytes=0)
+
+    def test_packet_count_for(self):
+        packetizer = Packetizer(mtu_bytes=1400)
+        assert packetizer.packet_count_for(1400) == 1
+        assert packetizer.packet_count_for(1401) == 2
+        assert packetizer.packet_count_for(14000) == 10
+
+    def test_retransmission_copy_keeps_sequence_and_identity(self):
+        packetizer = Packetizer()
+        original = packetizer.packetize(3, 3000, 1.0)[1]
+        copy = packetizer.retransmission_copy(original, request_time=2.0)
+        assert copy.sequence == original.sequence
+        assert copy.frame_id == original.frame_id
+        assert copy.index_in_frame == original.index_in_frame
+        assert copy.size_bytes == original.size_bytes
+        assert copy.packet_type == PacketType.RETRANSMISSION
+        assert copy.metadata["request_time"] == 2.0
+
+    def test_capture_time_propagated(self):
+        packets = Packetizer().packetize(0, 5000, capture_time=1.25)
+        assert all(p.capture_time == 1.25 for p in packets)
+
+    @given(st.integers(min_value=1, max_value=500_000), st.integers(min_value=100, max_value=9000))
+    def test_property_bytes_conserved_and_count_correct(self, frame_bytes, mtu):
+        packetizer = Packetizer(mtu_bytes=mtu)
+        packets = packetizer.packetize(0, frame_bytes, 0.0)
+        assert sum(p.size_bytes for p in packets) == frame_bytes
+        assert len(packets) == math.ceil(frame_bytes / mtu)
+        assert all(p.size_bytes <= mtu for p in packets)
+
+
+class TestFrameAssembler:
+    def _packets(self, frame_id=0, count=4, capture_time=0.0):
+        packetizer = Packetizer(mtu_bytes=1000)
+        return packetizer.packetize(frame_id, 1000 * count, capture_time)
+
+    def test_frame_completes_when_all_packets_arrive(self):
+        assembler = FrameAssembler()
+        packets = self._packets(count=3)
+        assert assembler.on_packet(packets[0], 0.01) is False
+        assert assembler.on_packet(packets[1], 0.02) is False
+        assert assembler.on_packet(packets[2], 0.03) is True
+        assert assembler.is_complete(0)
+        assert assembler.completion_time(0) == pytest.approx(0.03)
+
+    def test_completion_order_independent(self):
+        assembler = FrameAssembler()
+        packets = self._packets(count=3)
+        assembler.on_packet(packets[2], 0.01)
+        assembler.on_packet(packets[0], 0.02)
+        completed = assembler.on_packet(packets[1], 0.03)
+        assert completed is True
+
+    def test_duplicate_packet_does_not_complete_twice(self):
+        assembler = FrameAssembler()
+        packets = self._packets(count=2)
+        assembler.on_packet(packets[0], 0.01)
+        assert assembler.on_packet(packets[1], 0.02) is True
+        assert assembler.on_packet(packets[1], 0.03) is False
+        assert assembler.completion_time(0) == pytest.approx(0.02)
+
+    def test_missing_indices_tracking(self):
+        assembler = FrameAssembler()
+        packets = self._packets(count=5)
+        assembler.on_packet(packets[0], 0.01)
+        assembler.on_packet(packets[3], 0.02)
+        assert assembler.missing_indices(0) == (1, 2, 4)
+
+    def test_missing_indices_unknown_frame_is_empty(self):
+        assert FrameAssembler().missing_indices(99) == ()
+
+    def test_single_packet_frame(self):
+        assembler = FrameAssembler()
+        packet = Packetizer().packetize(7, 200, 0.5)[0]
+        assert assembler.on_packet(packet, 0.6) is True
+        assert assembler.capture_time(7) == pytest.approx(0.5)
+
+    def test_received_bytes_accumulates(self):
+        assembler = FrameAssembler()
+        packets = self._packets(count=3)
+        for p in packets:
+            assembler.on_packet(p, 0.1)
+        assert assembler.received_bytes(0) == sum(p.size_bytes for p in packets)
+
+    def test_multiple_frames_tracked_independently(self):
+        assembler = FrameAssembler()
+        frame0 = self._packets(frame_id=0, count=2)
+        frame1 = self._packets(frame_id=1, count=2)
+        assembler.on_packet(frame0[0], 0.01)
+        assembler.on_packet(frame1[0], 0.02)
+        assembler.on_packet(frame1[1], 0.03)
+        assert assembler.is_complete(1)
+        assert not assembler.is_complete(0)
+        assert set(assembler.known_frames()) == {0, 1}
+
+    @given(st.integers(min_value=1, max_value=40), st.randoms())
+    def test_property_completion_requires_all_indices(self, count, rnd):
+        packetizer = Packetizer(mtu_bytes=100)
+        packets = packetizer.packetize(0, 100 * count, 0.0)
+        order = list(packets)
+        rnd.shuffle(order)
+        assembler = FrameAssembler()
+        completions = [assembler.on_packet(p, i * 0.001) for i, p in enumerate(order)]
+        # Exactly one completion signal, and only on the final packet.
+        assert completions.count(True) == 1
+        assert completions[-1] is True

@@ -1,0 +1,307 @@
+"""Tests for congestion control, ABR policies, FEC math, jitter buffer and stats."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.abr import (
+    AiOrientedAbr,
+    BufferBasedAbr,
+    ThroughputAbr,
+    expected_frame_latency,
+)
+from repro.net.congestion import (
+    AimdController,
+    FeedbackAggregator,
+    GccConfig,
+    GoogleCongestionControl,
+    RateSample,
+)
+from repro.net.fec import FecConfig, fec_recovery_probability
+from repro.net.jitter_buffer import (
+    JitterBuffer,
+    JitterBufferConfig,
+    PassthroughBuffer,
+    frames_in_capture_order,
+)
+from repro.net.stats import TransportStats, summarize_latencies
+
+
+def _sample(time, rate, loss=0.0, delay=0.035):
+    return RateSample(timestamp=time, receive_rate_bps=rate, loss_ratio=loss, one_way_delay_s=delay)
+
+
+class TestGcc:
+    def test_rate_grows_when_delay_flat_and_no_loss(self):
+        gcc = GoogleCongestionControl(GccConfig(initial_rate_bps=1_000_000))
+        for i in range(20):
+            gcc.update(_sample(i * 0.2, 1_000_000, loss=0.0, delay=0.035))
+        assert gcc.estimate_bps > 1_000_000
+
+    def test_rate_drops_on_rising_delay(self):
+        gcc = GoogleCongestionControl(GccConfig(initial_rate_bps=5_000_000))
+        # Delay ramps up 10 ms per report: clear overuse.
+        for i in range(20):
+            gcc.update(_sample(i * 0.2, 4_000_000, loss=0.0, delay=0.035 + 0.01 * i))
+        assert gcc.estimate_bps < 5_000_000
+        assert gcc.state == "decrease"
+
+    def test_rate_drops_on_heavy_loss(self):
+        gcc = GoogleCongestionControl(GccConfig(initial_rate_bps=5_000_000))
+        for i in range(10):
+            gcc.update(_sample(i * 0.2, 5_000_000, loss=0.3, delay=0.035))
+        assert gcc.estimate_bps < 5_000_000
+
+    def test_rate_respects_bounds(self):
+        config = GccConfig(initial_rate_bps=100_000, min_rate_bps=50_000, max_rate_bps=200_000)
+        gcc = GoogleCongestionControl(config)
+        for i in range(100):
+            gcc.update(_sample(i * 0.2, 500_000, loss=0.0))
+        assert gcc.estimate_bps <= 200_000
+        gcc2 = GoogleCongestionControl(config)
+        for i in range(100):
+            gcc2.update(_sample(i * 0.2, 10_000, loss=0.5, delay=0.2 + i * 0.01))
+        assert gcc2.estimate_bps >= 50_000
+
+
+class TestAimd:
+    def test_additive_increase(self):
+        aimd = AimdController()
+        before = aimd.estimate_bps
+        aimd.update(_sample(0.2, 1_000_000, loss=0.0))
+        assert aimd.estimate_bps == pytest.approx(before + aimd.config.additive_increase_bps)
+
+    def test_multiplicative_decrease_on_loss(self):
+        aimd = AimdController()
+        before = aimd.estimate_bps
+        aimd.update(_sample(0.2, 1_000_000, loss=0.1))
+        assert aimd.estimate_bps == pytest.approx(before * aimd.config.multiplicative_decrease)
+
+
+class TestFeedbackAggregator:
+    def test_no_report_before_interval(self):
+        agg = FeedbackAggregator(interval_s=0.2)
+        agg.on_packet(0.05, 0.02, 1400)
+        assert agg.maybe_report(0.1) is None
+
+    def test_report_contains_rate_and_loss(self):
+        agg = FeedbackAggregator(interval_s=0.2)
+        for i in range(10):
+            agg.on_expected()
+            if i != 3:
+                agg.on_packet(0.02 * i, 0.02 * i - 0.01, 1400)
+        sample = agg.maybe_report(0.25)
+        assert sample is not None
+        assert sample.loss_ratio == pytest.approx(0.1)
+        assert sample.receive_rate_bps == pytest.approx(9 * 1400 * 8 / 0.25)
+
+    def test_window_resets_after_report(self):
+        agg = FeedbackAggregator(interval_s=0.1)
+        agg.on_expected()
+        agg.on_packet(0.05, 0.02, 1400)
+        assert agg.maybe_report(0.15) is not None
+        later = agg.maybe_report(0.35)
+        assert later is not None
+        assert later.receive_rate_bps == 0.0
+
+
+class TestAbrPolicies:
+    def test_throughput_abr_stays_below_estimate(self):
+        policy = ThroughputAbr()
+        decision = policy.decide(bandwidth_estimate_bps=5_000_000)
+        assert decision.bitrate_bps <= 5_000_000 * policy.safety_factor
+        assert decision.bitrate_bps == 4_000_000
+
+    def test_throughput_abr_falls_back_to_minimum(self):
+        policy = ThroughputAbr()
+        decision = policy.decide(bandwidth_estimate_bps=100_000)
+        assert decision.bitrate_bps == min(policy.ladder_bps)
+
+    def test_buffer_based_abr_low_buffer_selects_low_rate(self):
+        policy = BufferBasedAbr()
+        decision = policy.decide(bandwidth_estimate_bps=10_000_000, buffer_s=0.01)
+        assert decision.bitrate_bps == min(policy.ladder_bps)
+
+    def test_buffer_based_abr_high_buffer_selects_high_rate(self):
+        policy = BufferBasedAbr()
+        decision = policy.decide(bandwidth_estimate_bps=10_000_000, buffer_s=1.0)
+        assert decision.bitrate_bps == max(policy.ladder_bps)
+
+    def test_buffer_based_abr_caps_at_bandwidth(self):
+        policy = BufferBasedAbr()
+        decision = policy.decide(bandwidth_estimate_bps=700_000, buffer_s=1.0)
+        assert decision.bitrate_bps <= 700_000
+
+    def test_ai_oriented_abr_picks_minimum_accurate_bitrate(self):
+        # Accuracy predictor: adequate from 400 Kbps upwards.
+        policy = AiOrientedAbr(
+            accuracy_target=0.85,
+            accuracy_predictor=lambda rate: 0.9 if rate >= 400_000 else 0.4,
+        )
+        decision = policy.decide(bandwidth_estimate_bps=10_000_000)
+        assert decision.bitrate_bps == 400_000
+        assert decision.reason == "accuracy-constrained"
+
+    def test_ai_oriented_abr_without_predictor_picks_minimum(self):
+        policy = AiOrientedAbr(accuracy_predictor=None)
+        decision = policy.decide(bandwidth_estimate_bps=10_000_000)
+        assert decision.bitrate_bps == min(policy.candidate_bitrates_bps)
+
+    def test_ai_oriented_abr_latency_budget_filters_candidates(self):
+        policy = AiOrientedAbr(
+            accuracy_target=0.5,
+            accuracy_predictor=lambda rate: 1.0,
+            latency_budget_s=0.068,
+            latency_predictor=lambda rate: expected_frame_latency(
+                rate, fps=30, bandwidth_bps=10_000_000, loss_rate=0.05, rtt_s=0.065
+            ),
+        )
+        decision = policy.decide(bandwidth_estimate_bps=10_000_000)
+        assert decision.bitrate_bps < 4_000_000
+
+    def test_ai_oriented_abr_selects_below_traditional(self):
+        """The yellow-region claim: AI ABR sits far below traditional ABR."""
+        traditional = ThroughputAbr().decide(bandwidth_estimate_bps=10_000_000)
+        ai = AiOrientedAbr(
+            accuracy_target=0.85,
+            accuracy_predictor=lambda rate: 0.9 if rate >= 200_000 else 0.3,
+        ).decide(bandwidth_estimate_bps=10_000_000)
+        assert ai.bitrate_bps <= traditional.bitrate_bps / 10
+
+
+class TestExpectedFrameLatency:
+    def test_monotone_in_bitrate_under_loss(self):
+        latencies = [
+            expected_frame_latency(rate, 30, 10_000_000, 0.05, 0.065)
+            for rate in [200_000, 1_000_000, 4_000_000, 8_000_000]
+        ]
+        assert latencies == sorted(latencies)
+
+    def test_monotone_in_loss(self):
+        latencies = [
+            expected_frame_latency(4_000_000, 30, 10_000_000, loss, 0.065)
+            for loss in [0.0, 0.01, 0.05, 0.1]
+        ]
+        assert latencies == sorted(latencies)
+
+    def test_overload_dominates(self):
+        below = expected_frame_latency(8_000_000, 30, 10_000_000, 0.0, 0.065)
+        above = expected_frame_latency(14_000_000, 30, 10_000_000, 0.0, 0.065)
+        assert above > 2 * below
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            expected_frame_latency(0, 30, 10_000_000, 0.0, 0.065)
+
+
+class TestFec:
+    def test_recovery_probability_bounds(self):
+        p = fec_recovery_probability(packet_count=10, loss_rate=0.05, group_size=5)
+        assert 0.0 < p <= 1.0
+
+    def test_recovery_improves_over_no_fec(self):
+        no_fec = (1 - 0.05) ** 10
+        with_fec = fec_recovery_probability(10, 0.05, group_size=5)
+        assert with_fec > no_fec
+
+    def test_zero_loss_gives_certainty(self):
+        assert fec_recovery_probability(20, 0.0, 5) == pytest.approx(1.0)
+
+    def test_invalid_loss_rejected(self):
+        with pytest.raises(ValueError):
+            fec_recovery_probability(10, 1.0, 5)
+
+    def test_group_size_validation(self):
+        with pytest.raises(ValueError):
+            FecConfig(group_size=0)
+        assert FecConfig(group_size=4).overhead_ratio == pytest.approx(0.25)
+
+    @given(
+        st.integers(min_value=1, max_value=60),
+        st.floats(min_value=0.0, max_value=0.4),
+        st.integers(min_value=1, max_value=10),
+    )
+    def test_property_probability_valid(self, packets, loss, group):
+        p = fec_recovery_probability(packets, loss, group)
+        assert 0.0 <= p <= 1.0
+
+
+class TestJitterBuffer:
+    def test_buffer_adds_latency(self):
+        buffer = JitterBuffer(JitterBufferConfig(initial_delay_s=0.05))
+        for i in range(20):
+            capture = i / 30
+            arrival = capture + 0.03 + (0.02 if i % 3 == 0 else 0.0)
+            buffer.push(i, capture, arrival)
+        buffer.pop_ready(now=100.0)
+        assert buffer.added_latency() > 0.0
+
+    def test_buffer_delay_adapts_to_jitter(self):
+        calm = JitterBuffer()
+        noisy = JitterBuffer()
+        rng = np.random.default_rng(0)
+        for i in range(200):
+            capture = i / 30
+            calm.push(i, capture, capture + 0.03)
+            noisy.push(i, capture, capture + 0.03 + abs(rng.normal(0, 0.02)))
+        assert noisy.playout_delay_s > calm.playout_delay_s
+        assert noisy.jitter_estimate_s > calm.jitter_estimate_s
+
+    def test_pop_ready_respects_release_times(self):
+        buffer = JitterBuffer(JitterBufferConfig(initial_delay_s=0.1))
+        buffer.push(0, 0.0, 0.03)
+        assert buffer.pop_ready(now=0.05) == []
+        assert len(buffer.pop_ready(now=10.0)) == 1
+
+    def test_passthrough_adds_no_latency(self):
+        buffer = PassthroughBuffer()
+        frame = buffer.push(0, 0.0, 0.03)
+        assert frame.release_time == frame.arrival_time
+        assert buffer.added_latency() == 0.0
+        assert buffer.depth == 0
+
+    def test_capture_order_is_jitter_invariant(self):
+        """Section 2.1: the MLLM input does not depend on arrival jitter."""
+        rng = np.random.default_rng(1)
+        captures = [i / 30 for i in range(50)]
+        smooth = PassthroughBuffer()
+        jittered = PassthroughBuffer()
+        for i, capture in enumerate(captures):
+            smooth.push(i, capture, capture + 0.03)
+            jittered.push(i, capture, capture + 0.03 + float(rng.uniform(0, 0.05)))
+        smooth_order = [f.frame_id for f in frames_in_capture_order(smooth.released)]
+        jitter_order = [f.frame_id for f in frames_in_capture_order(jittered.released)]
+        assert smooth_order == jitter_order
+
+
+class TestStats:
+    def test_empty_summary_has_nan_latencies(self):
+        summary = TransportStats().summary()
+        assert summary.count == 0
+        assert np.isnan(summary.mean_s)
+
+    def test_summary_percentiles_ordered(self):
+        latencies = np.linspace(0.01, 0.2, 100)
+        summary = summarize_latencies(latencies)
+        assert summary.min_s <= summary.median_s <= summary.p90_s <= summary.p95_s
+        assert summary.p95_s <= summary.p99_s <= summary.max_s
+
+    def test_delivery_ratio_uses_total(self):
+        summary = summarize_latencies([0.03] * 50, total=100)
+        assert summary.delivery_ratio == pytest.approx(0.5)
+
+    def test_ms_helpers(self):
+        summary = summarize_latencies([0.05, 0.05])
+        assert summary.mean_ms == pytest.approx(50.0)
+
+    def test_record_completion_idempotent(self):
+        stats = TransportStats()
+        stats.register_frame(0, 0.0, 0.0, 1400, 1)
+        stats.record_completion(0, 0.05)
+        stats.record_completion(0, 0.09)
+        assert stats.frames[0].complete_time == pytest.approx(0.05)
+
+    @given(st.lists(st.floats(min_value=0.001, max_value=5.0), min_size=1, max_size=200))
+    def test_property_mean_between_min_and_max(self, latencies):
+        summary = summarize_latencies(latencies)
+        assert summary.min_s <= summary.mean_s <= summary.max_s
