@@ -5,12 +5,12 @@ MLLM ingests at most 2 FPS and ≤602,112 pixels per frame, so most of what a
 traditional RTC stack would ship is redundancy the receiver cannot perceive.
 """
 
-from repro.analysis import format_mapping, run_figure2_redundancy
+from repro.analysis import format_mapping, run_experiment
 
 
 def test_fig2_redundancy(benchmark):
     result = benchmark.pedantic(
-        lambda: run_figure2_redundancy(capture_fps=60.0, duration_s=1.0),
+        lambda: run_experiment("figure2_redundancy", capture_fps=60.0, duration_s=1.0),
         rounds=1,
         iterations=1,
     )

@@ -8,11 +8,12 @@ traditional ABR operates; the yellow region (ultra-low bitrate) is the
 operating point AI Video Chat can exploit.
 """
 
-from repro.analysis import format_figure3, run_figure3_latency
+from repro.analysis import format_figure3, run_experiment
 
 
 def _rows():
-    return run_figure3_latency(
+    return run_experiment(
+        "figure3_latency",
         bitrates_bps=(200_000, 1_000_000, 4_000_000, 8_000_000, 12_000_000),
         loss_rates=(0.0, 0.01, 0.05),
         duration_s=15.0,

@@ -9,13 +9,13 @@ the uniform baseline loses most of its headroom while the context-aware
 encoder keeps accuracy close to its high-bitrate level.
 """
 
-from repro.analysis import format_figure9, run_figure9_accuracy
+from repro.analysis import format_figure9, run_experiment
 
 BITRATES = (850_000.0, 430_000.0, 200_000.0, 120_000.0)
 
 
 def _series(devibench):
-    return run_figure9_accuracy(benchmark=devibench, bitrates_bps=BITRATES)
+    return run_experiment("figure9_accuracy", benchmark=devibench, bitrates_bps=BITRATES)
 
 
 def test_fig9_accuracy_vs_bitrate(benchmark, devibench):

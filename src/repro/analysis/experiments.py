@@ -9,6 +9,7 @@ next to the paper's numbers.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -33,7 +34,13 @@ from ..mllm.tokenizer import (
     compare_token_stream_bitrates,
     drop_and_recover_tokens,
 )
-from ..net.emulator import BernoulliLoss, PathConfig
+from ..net.emulator import (
+    BandwidthTrace,
+    BernoulliLoss,
+    LossModel,
+    PathConfig,
+    expected_loss_rate,
+)
 from ..net.jitter_buffer import JitterBuffer, PassthroughBuffer, frames_in_capture_order
 from ..net.transport import run_fixed_bitrate_session
 from ..video.codec import BlockCodec
@@ -41,6 +48,7 @@ from ..video.frames import VideoFrame
 from ..video.quality import region_quality
 from ..video.scene import Scene, make_park_scene, make_sports_scene
 from .latency import BudgetScenario, budget_for_scenario, default_budget_scenarios, headline_subtraction
+from .registry import experiment
 
 
 # ---------------------------------------------------------------------------
@@ -48,20 +56,48 @@ from .latency import BudgetScenario, budget_for_scenario, default_budget_scenari
 # ---------------------------------------------------------------------------
 
 
+@experiment(
+    "figure2_redundancy",
+    description="Sender vs MLLM-perceived throughput (capture redundancy)",
+    default_scenario={"loss_model": {"kind": "bernoulli", "loss_rate": 0.0}},
+)
 def run_figure2_redundancy(
     capture_fps: float = 60.0,
     duration_s: float = 2.0,
     height: int = 360,
     width: int = 640,
     seed: int = 0,
+    loss_model: Optional[LossModel] = None,
 ) -> dict[str, float]:
-    """How much of the captured stream the MLLM actually perceives."""
+    """How much of the captured stream the MLLM actually perceives.
+
+    With a ``loss_model``, captured frames are dropped on the (emulated)
+    uplink before the receiver-side sampler sees them, so bursty links show
+    up as reduced perceived throughput rather than a fixed redundancy ratio.
+    """
     scene = make_sports_scene(seed, height=height, width=width)
     scene.fps = capture_fps
     scene.duration_s = duration_s
     source = scene.to_source()
     frames = [source.frame_at(index) for index in range(source.frame_count())]
+    captured_count = len(frames)
     sampler = ReceiverSampler(SamplerConfig())
+    if loss_model is not None:
+        model = copy.deepcopy(loss_model)
+        rng = np.random.default_rng(seed)
+        frames = [frame for frame in frames if not model.should_drop(rng)]
+        if not frames:
+            # A dead link delivers nothing: report it as such instead of
+            # silently falling back to the lossless stream.
+            return {
+                "capture_fps": capture_fps,
+                "mllm_fps": sampler.config.max_fps,
+                "sender_throughput_bps": 0.0,
+                "perceived_throughput_bps": 0.0,
+                "frame_redundancy": 0.0,
+                "pixel_redundancy": 0.0,
+                "delivered_frame_fraction": 0.0,
+            }
     _, report = sampler.prepare(frames)
     return {
         "capture_fps": capture_fps,
@@ -70,6 +106,7 @@ def run_figure2_redundancy(
         "perceived_throughput_bps": perceived_throughput_bps(report, duration_s),
         "frame_redundancy": report.frame_redundancy,
         "pixel_redundancy": report.pixel_redundancy,
+        "delivered_frame_fraction": len(frames) / max(captured_count, 1),
     }
 
 
@@ -89,6 +126,11 @@ class Figure3Row:
     delivery_ratio: float
 
 
+@experiment(
+    "figure3_latency",
+    description="Frame transmission latency vs bitrate and loss",
+    default_scenario={"loss_model": {"kind": "bernoulli", "loss_rate": 0.01}},
+)
 def run_figure3_latency(
     bitrates_bps: Sequence[float] = (200_000, 1_000_000, 4_000_000, 8_000_000, 12_000_000),
     loss_rates: Sequence[float] = (0.0, 0.01, 0.05),
@@ -97,11 +139,23 @@ def run_figure3_latency(
     bandwidth_bps: float = 10_000_000.0,
     one_way_delay_s: float = 0.030,
     seed: int = 1,
+    loss_model: Optional[LossModel] = None,
+    bandwidth_trace: Optional[BandwidthTrace] = None,
 ) -> list[Figure3Row]:
-    """Measured frame transmission latency over the emulated 10 Mbps / 30 ms path."""
+    """Measured frame transmission latency over the emulated 10 Mbps / 30 ms path.
+
+    A ``loss_model`` replaces the Bernoulli sweep over ``loss_rates`` (rows
+    are labelled with the model's long-run loss rate); a ``bandwidth_trace``
+    makes the bottleneck time-varying.
+    """
+    if loss_model is not None:
+        loss_rates = (expected_loss_rate(loss_model),)
     rows: list[Figure3Row] = []
     for loss in loss_rates:
         for bitrate in bitrates_bps:
+            # Stateful models (Gilbert-Elliott) are copied so each session
+            # starts from the same chain state.
+            model = copy.deepcopy(loss_model) if loss_model is not None else BernoulliLoss(loss)
             stats = run_fixed_bitrate_session(
                 bitrate_bps=bitrate,
                 duration_s=duration_s,
@@ -109,7 +163,8 @@ def run_figure3_latency(
                 uplink_config=PathConfig(
                     bandwidth_bps=bandwidth_bps,
                     propagation_delay_s=one_way_delay_s,
-                    loss_model=BernoulliLoss(loss),
+                    loss_model=model,
+                    bandwidth_trace=bandwidth_trace,
                     seed=seed,
                 ),
             )
@@ -131,6 +186,7 @@ def run_figure3_latency(
 # ---------------------------------------------------------------------------
 
 
+@experiment("figure4_context_dependence", description="Coarse vs detail question survival across bitrates")
 def run_figure4_context_dependence(
     high_bitrate_bps: float = 4_000_000.0,
     low_bitrate_bps: float = 200_000.0,
@@ -183,6 +239,7 @@ class Figure5Case:
         return self.target_correlation >= self.best_other_correlation
 
 
+@experiment("figure5_correlation_maps", description="CLIP correlation maps point at chat-relevant regions")
 def run_figure5_correlation_maps(seed: int = 0, height: int = 360, width: int = 640) -> list[Figure5Case]:
     """The three Figure 5 style dialogues, including the indirect season→grass case."""
     clip = MobileClip()
@@ -220,6 +277,7 @@ def run_figure5_correlation_maps(seed: int = 0, height: int = 360, width: int = 
 # ---------------------------------------------------------------------------
 
 
+@experiment("section23_coarse_qa", description="Fraction of coarse QA broken at 200 Kbps")
 def run_section23_coarse_qa(video_count: int = 6, seed: int = 0) -> dict[str, float]:
     collection = VideoCollection.synthetic(video_count=video_count, seed=seed)
     return coarse_qa_breakage_rate(collection)
@@ -230,6 +288,7 @@ def run_section23_coarse_qa(video_count: int = 6, seed: int = 0) -> dict[str, fl
 # ---------------------------------------------------------------------------
 
 
+@experiment("table1_pipeline", description="DeViBench construction pipeline report")
 def run_table1_pipeline(video_count: int = 8, seed: int = 0) -> PipelineReport:
     return build_benchmark(video_count=video_count, seed=seed)
 
@@ -247,6 +306,11 @@ class Figure9Point:
     accuracy: float
 
 
+@experiment(
+    "figure9_accuracy",
+    description="MLLM accuracy vs bitrate, baseline vs context-aware",
+    default_scenario={"loss_model": {"kind": "bernoulli", "loss_rate": 0.0}},
+)
 def run_figure9_accuracy(
     benchmark: Optional[DeViBench] = None,
     bitrates_bps: Sequence[float] = (850_000.0, 430_000.0, 200_000.0),
@@ -254,15 +318,30 @@ def run_figure9_accuracy(
     video_count: int = 8,
     seed: int = 0,
     max_samples: Optional[int] = None,
+    loss_model: Optional[LossModel] = None,
+    bandwidth_trace: Optional[BandwidthTrace] = None,
 ) -> list[Figure9Point]:
-    """Accuracy/bitrate points for the uniform baseline and context-aware streaming."""
+    """Accuracy/bitrate points for the uniform baseline and context-aware streaming.
+
+    Scenario hooks: a ``loss_model`` scales each target bitrate by the link's
+    long-run delivery ratio (lost bytes contribute no decodable quality) and
+    a ``bandwidth_trace`` caps the target at the trace's mean rate, so bursty
+    and time-varying links shift every operating point into scarcer regimes.
+    """
     if benchmark is None:
         benchmark = build_benchmark(video_count=video_count, seed=seed).benchmark
     evaluator = BenchmarkEvaluator(benchmark, mode=mode)
+    delivery_ratio = 1.0
+    if loss_model is not None:
+        delivery_ratio = max(0.0, 1.0 - expected_loss_rate(loss_model))
+    rate_cap = float("inf")
+    if bandwidth_trace is not None:
+        rate_cap = bandwidth_trace.mean_rate_bps
     points: list[Figure9Point] = []
     for context_aware in (False, True):
         for bitrate in bitrates_bps:
-            result = evaluator.evaluate(bitrate, context_aware=context_aware, max_samples=max_samples)
+            effective = max(1_000.0, min(float(bitrate), rate_cap) * delivery_ratio)
+            result = evaluator.evaluate(effective, context_aware=context_aware, max_samples=max_samples)
             points.append(
                 Figure9Point(
                     method="context-aware" if context_aware else "baseline",
@@ -279,6 +358,7 @@ def run_figure9_accuracy(
 # ---------------------------------------------------------------------------
 
 
+@experiment("figure10_qp_allocation", description="Per-region bit allocation at matched bitrate")
 def run_figure10_qp_allocation(
     target_bitrate_bps: float = 430_000.0,
     rate_fps: float = 2.0,
@@ -323,6 +403,7 @@ def run_figure10_qp_allocation(
 # ---------------------------------------------------------------------------
 
 
+@experiment("section21_jitter_invariance", description="Jitter buffer latency vs MLLM input invariance")
 def run_section21_jitter_invariance(seed: int = 0, frame_count: int = 30) -> dict[str, float]:
     """Jitter changes human-buffer latency but not the MLLM's input order."""
     rng = np.random.default_rng(seed)
@@ -348,6 +429,7 @@ def run_section21_jitter_invariance(seed: int = 0, frame_count: int = 30) -> dic
     }
 
 
+@experiment("section21_throughput_asymmetry", description="Uplink/downlink throughput asymmetry")
 def run_section21_throughput_asymmetry(seed: int = 0) -> dict[str, float]:
     """Receiver (MLLM) throughput ≪ sender throughput; downlink ≪ uplink."""
     redundancy = run_figure2_redundancy(seed=seed)
@@ -367,6 +449,7 @@ def run_section21_throughput_asymmetry(seed: int = 0) -> dict[str, float]:
 # ---------------------------------------------------------------------------
 
 
+@experiment("section1_latency_budget", description="Response-latency budget breakdown")
 def run_section1_latency_budget() -> dict[str, dict[str, float]]:
     results = {"headline": headline_subtraction()}
     for scenario in default_budget_scenarios():
@@ -379,6 +462,7 @@ def run_section1_latency_budget() -> dict[str, dict[str, float]]:
 # ---------------------------------------------------------------------------
 
 
+@experiment("ablation_gamma", description="Regional quality as the temperature gamma varies")
 def run_ablation_gamma(
     gammas: Sequence[float] = (1.0, 3.0, 6.0),
     target_bitrate_bps: float = 300_000.0,
@@ -401,6 +485,7 @@ def run_ablation_gamma(
     return results
 
 
+@experiment("ablation_patch_size", description="Client CLIP compute cost vs patch size")
 def run_ablation_patch_size(
     patch_sizes: Sequence[int] = (16, 32, 64),
     seed: int = 3,
@@ -418,6 +503,7 @@ def run_ablation_patch_size(
     return results
 
 
+@experiment("ablation_proactive", description="Proactive vs reactive importance maps")
 def run_ablation_proactive(seed: int = 4, height: int = 360, width: int = 640) -> dict[str, float]:
     """Proactive importance maps versus the reactive (user-word) map."""
     scene = make_park_scene(seed, height=height, width=width)
@@ -442,6 +528,7 @@ def run_ablation_proactive(seed: int = 4, height: int = 360, width: int = 640) -
     }
 
 
+@experiment("ablation_token_pruning", description="Latency saving and retention under token pruning")
 def run_ablation_token_pruning(
     keep_ratios: Sequence[float] = (1.0, 0.5, 0.3, 0.1),
     seed: int = 5,
@@ -470,6 +557,7 @@ def run_ablation_token_pruning(
     return results
 
 
+@experiment("ablation_semantic_layers", description="Base-layer-only vs full reconstruction")
 def run_ablation_semantic_layers(seed: int = 6, height: int = 360, width: int = 640) -> dict[str, float]:
     """Base-layer-only versus full reconstruction quality and bitrate split."""
     scene = make_sports_scene(seed, height=height, width=width)
@@ -493,6 +581,7 @@ def run_ablation_semantic_layers(seed: int = 6, height: int = 360, width: int = 
     }
 
 
+@experiment("token_streaming_feasibility", description="Token bitrates and loss resilience")
 def run_token_streaming_feasibility(
     loss_fractions: Sequence[float] = (0.0, 0.5, 0.828),
     seed: int = 7,
@@ -537,6 +626,7 @@ def run_token_streaming_feasibility(
 # ---------------------------------------------------------------------------
 
 
+@experiment("end_to_end_turn", description="One full dialogue turn with latency budget", default_scenario={"loss_model": {"kind": "bernoulli", "loss_rate": 0.02}})
 def run_end_to_end_turn(
     context_aware: bool = True,
     target_bitrate_bps: float = 400_000.0,
@@ -545,10 +635,17 @@ def run_end_to_end_turn(
     seed: int = 0,
     height: int = 240,
     width: int = 432,
+    loss_model: Optional[LossModel] = None,
+    bandwidth_trace: Optional[BandwidthTrace] = None,
 ) -> dict[str, float]:
-    """One full client→cloud dialogue turn with the measured latency budget."""
+    """One full client→cloud dialogue turn with the measured latency budget.
+
+    ``loss_model`` overrides the Bernoulli ``loss_rate`` shorthand and
+    ``bandwidth_trace`` makes the uplink time-varying.
+    """
     scene = make_sports_scene(seed, height=height, width=width)
     fact = next(f for f in scene.facts if f.key == "score")
+    model = copy.deepcopy(loss_model) if loss_model is not None else BernoulliLoss(loss_rate)
     session = AIVideoChatSession(
         scene,
         session_config=ChatSessionConfig(
@@ -556,7 +653,7 @@ def run_end_to_end_turn(
             context_aware=context_aware,
             use_jitter_buffer=use_jitter_buffer,
         ),
-        uplink_config=PathConfig(loss_model=BernoulliLoss(loss_rate), seed=seed),
+        uplink_config=PathConfig(loss_model=model, bandwidth_trace=bandwidth_trace, seed=seed),
     )
     result = session.run_turn(fact)
     breakdown = result.latency_budget.breakdown()

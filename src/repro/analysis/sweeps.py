@@ -1,0 +1,437 @@
+"""Multi-scenario sweep engine over the experiment registry.
+
+The paper's evaluation (like most) reports each figure at a single operating
+point — one loss process, one seed.  The sweep engine turns every registered
+experiment into a grid job: (experiment × scenario × seed) cells are fanned
+out across a ``multiprocessing`` pool, each cell gets a deterministic seed
+derived from its coordinates, results are persisted as JSON under a results
+directory, and a content-hash cache makes re-running an unchanged
+(runner, scenario, seed) cell free.
+
+A :class:`Scenario` describes the network conditions as plain JSON-able
+specs (loss model kind + parameters, optional bandwidth trace, plus
+arbitrary runner keyword overrides); workers rebuild the live
+:class:`~repro.net.emulator.LossModel` / ``BandwidthTrace`` objects locally
+via the factories in :mod:`repro.net.emulator`.  Runners that do not accept
+a given scenario ingredient simply don't receive it (the registry filters
+kwargs against each runner's signature).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import inspect
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..net.emulator import bandwidth_trace_from_spec, loss_model_from_spec
+from .registry import ExperimentSpec, get_experiment
+
+DEFAULT_RESULTS_DIR = "results"
+
+
+# ---------------------------------------------------------------------------
+# Scenarios
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One operating point of the grid, described entirely by plain data.
+
+    ``loss_model`` / ``bandwidth_trace`` are spec dicts (see
+    :func:`repro.net.emulator.loss_model_from_spec`); ``overrides`` are extra
+    keyword arguments forwarded to the runner (resolution, duration, ...).
+    """
+
+    name: str
+    loss_model: Optional[dict] = None
+    bandwidth_trace: Optional[dict] = None
+    overrides: dict = field(default_factory=dict)
+
+    def to_jsonable(self) -> dict:
+        return {
+            "name": self.name,
+            "loss_model": self.loss_model,
+            "bandwidth_trace": self.bandwidth_trace,
+            "overrides": dict(self.overrides),
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "Scenario":
+        return cls(
+            name=data["name"],
+            loss_model=data.get("loss_model"),
+            bandwidth_trace=data.get("bandwidth_trace"),
+            overrides=dict(data.get("overrides") or {}),
+        )
+
+    def runner_kwargs(self, seed: int) -> dict[str, Any]:
+        """Live objects + overrides a runner may accept for this scenario."""
+        kwargs: dict[str, Any] = dict(self.overrides)
+        if self.loss_model is not None:
+            kwargs["loss_model"] = loss_model_from_spec(self.loss_model)
+        if self.bandwidth_trace is not None:
+            kwargs["bandwidth_trace"] = bandwidth_trace_from_spec(self.bandwidth_trace)
+        # A seed pinned explicitly in the overrides wins over the derived
+        # per-cell seed (so a scenario can reproduce one specific run).
+        kwargs.setdefault("seed", seed)
+        return kwargs
+
+
+def bernoulli_scenario(loss_rate: float, name: Optional[str] = None, **overrides: Any) -> Scenario:
+    """I.i.d. loss at ``loss_rate``."""
+    return Scenario(
+        name=name or f"bernoulli-{loss_rate:g}",
+        loss_model={"kind": "bernoulli", "loss_rate": loss_rate},
+        overrides=overrides,
+    )
+
+
+def gilbert_elliott_scenario(
+    p_good_to_bad: float = 0.01,
+    p_bad_to_good: float = 0.3,
+    loss_in_bad: float = 0.5,
+    loss_in_good: float = 0.0,
+    name: Optional[str] = None,
+    **overrides: Any,
+) -> Scenario:
+    """Bursty two-state loss (the Gilbert-Elliott chain of the emulator)."""
+    return Scenario(
+        name=name or f"gilbert-elliott-{p_good_to_bad:g}-{loss_in_bad:g}",
+        loss_model={
+            "kind": "gilbert_elliott",
+            "p_good_to_bad": p_good_to_bad,
+            "p_bad_to_good": p_bad_to_good,
+            "loss_in_bad": loss_in_bad,
+            "loss_in_good": loss_in_good,
+        },
+        overrides=overrides,
+    )
+
+
+def trace_scenario(
+    times: Sequence[float],
+    rates_bps: Sequence[float],
+    loss_rate: float = 0.0,
+    name: Optional[str] = None,
+    **overrides: Any,
+) -> Scenario:
+    """A time-varying link following a piecewise-constant bandwidth trace."""
+    return Scenario(
+        name=name or f"trace-{len(times)}steps",
+        loss_model={"kind": "bernoulli", "loss_rate": loss_rate},
+        bandwidth_trace={"times": list(times), "rates_bps": list(rates_bps)},
+        overrides=overrides,
+    )
+
+
+def default_scenarios() -> list[Scenario]:
+    """A small representative grid: i.i.d., bursty, and time-varying links."""
+    return [
+        bernoulli_scenario(0.02),
+        gilbert_elliott_scenario(p_good_to_bad=0.02, p_bad_to_good=0.25, loss_in_bad=0.5),
+        trace_scenario(
+            times=[0.0, 5.0, 10.0, 15.0],
+            rates_bps=[10e6, 2e6, 6e6, 10e6],
+            loss_rate=0.01,
+            name="trace-droop",
+        ),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Grid and cells
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """The cross product (experiments × scenarios × seeds)."""
+
+    experiments: tuple[str, ...]
+    scenarios: tuple[Scenario, ...]
+    seeds: tuple[int, ...] = (0,)
+
+    def __post_init__(self) -> None:
+        if not self.experiments or not self.scenarios or not self.seeds:
+            raise ValueError("grid must have at least one experiment, scenario and seed")
+
+    @property
+    def cell_count(self) -> int:
+        return len(self.experiments) * len(self.scenarios) * len(self.seeds)
+
+    def cells(self) -> Iterable[tuple[str, Scenario, int]]:
+        for experiment in self.experiments:
+            for scenario in self.scenarios:
+                for seed in self.seeds:
+                    yield experiment, scenario, seed
+
+
+def derive_cell_seed(experiment: str, scenario_name: str, seed: int) -> int:
+    """Deterministic per-cell seed, stable across runs and processes."""
+    digest = hashlib.sha256(f"{experiment}|{scenario_name}|{seed}".encode()).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+def cell_cache_key(spec: ExperimentSpec, scenario: Scenario, seed: int) -> str:
+    """Content hash of (runner source, scenario, seed).
+
+    Editing the runner, the scenario, or the seed invalidates the cell; an
+    unchanged cell re-loads its persisted JSON instead of re-running.
+    """
+    try:
+        source = inspect.getsource(spec.fn)
+    except (OSError, TypeError):  # builtins / interactively-defined runners
+        source = f"{spec.fn.__module__}.{spec.fn.__qualname__}"
+    payload = json.dumps(
+        {
+            "experiment": spec.name,
+            "source": source,
+            "scenario": scenario.to_jsonable(),
+            "seed": seed,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclass
+class SweepCell:
+    """Outcome of one (experiment, scenario, seed) cell.
+
+    ``result`` is always the JSON-able form (dataclasses flattened, numpy
+    unwrapped) so that fresh and cache-loaded cells look identical.
+    """
+
+    experiment: str
+    scenario: Scenario
+    seed: int
+    cell_seed: int
+    result: Any
+    from_cache: bool
+    elapsed_s: float
+    path: Path
+    cache_key: str
+
+
+@dataclass
+class SweepReport:
+    """Everything one :meth:`SweepRunner.run` produced."""
+
+    cells: list[SweepCell]
+    elapsed_s: float
+
+    @property
+    def executed(self) -> int:
+        return sum(1 for cell in self.cells if not cell.from_cache)
+
+    @property
+    def cached(self) -> int:
+        return sum(1 for cell in self.cells if cell.from_cache)
+
+    def for_experiment(self, experiment: str) -> list[SweepCell]:
+        return [cell for cell in self.cells if cell.experiment == experiment]
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "cells": len(self.cells),
+            "executed": self.executed,
+            "cached": self.cached,
+            "elapsed_s": self.elapsed_s,
+            "experiments": sorted({cell.experiment for cell in self.cells}),
+            "scenarios": sorted({cell.scenario.name for cell in self.cells}),
+        }
+
+
+# ---------------------------------------------------------------------------
+# JSON conversion
+# ---------------------------------------------------------------------------
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert runner results to JSON-compatible structures.
+
+    Handles dataclasses, numpy scalars/arrays, tuples, and dict keys that are
+    not strings (several runners key results by float bitrate or ratio).
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: to_jsonable(getattr(value, f.name)) for f in dataclasses.fields(value)}
+    if isinstance(value, dict):
+        return {str(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [to_jsonable(item) for item in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+# ---------------------------------------------------------------------------
+# Worker (must be importable at module top level for multiprocessing)
+# ---------------------------------------------------------------------------
+
+
+def _execute_cell(payload: dict) -> dict:
+    """Run one cell inside a worker process and return a JSON-able record."""
+    spec = get_experiment(payload["experiment"])
+    scenario = Scenario.from_jsonable(payload["scenario"])
+    started = time.perf_counter()
+    result = spec.run(**scenario.runner_kwargs(payload["cell_seed"]))
+    return {
+        "experiment": payload["experiment"],
+        "scenario": payload["scenario"],
+        "seed": payload["seed"],
+        "cell_seed": payload["cell_seed"],
+        "cache_key": payload["cache_key"],
+        "elapsed_s": time.perf_counter() - started,
+        "result": to_jsonable(result),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Runner
+# ---------------------------------------------------------------------------
+
+
+class SweepRunner:
+    """Executes a :class:`SweepGrid` across a process pool with caching.
+
+    ``processes=None`` sizes the pool to ``min(cells, cpu_count)``;
+    ``processes<=1`` runs cells inline (useful under pytest and for
+    debugging).  Each cell's JSON lands at
+    ``<results_dir>/<experiment>/<scenario>-seed<k>-<hash12>.json``.
+
+    The cache key covers the runner's own source, the scenario, and the
+    seed — not the transitive code the runner calls.  After editing shared
+    simulator code (transport, emulator, codec, ...), pass
+    ``use_cache=False`` (or delete the results directory) to force fresh
+    runs; results are still persisted either way.
+    """
+
+    def __init__(
+        self,
+        results_dir: str | Path = DEFAULT_RESULTS_DIR,
+        processes: Optional[int] = None,
+        use_cache: bool = True,
+    ) -> None:
+        self.results_dir = Path(results_dir)
+        self.processes = processes
+        self.use_cache = use_cache
+
+    # -- cache ----------------------------------------------------------------
+
+    def cell_path(self, experiment: str, scenario: Scenario, seed: int, key: str) -> Path:
+        return self.results_dir / experiment / f"{scenario.name}-seed{seed}-{key[:12]}.json"
+
+    def _load_cached(self, path: Path, key: str) -> Optional[dict]:
+        if not self.use_cache or not path.exists():
+            return None
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if record.get("cache_key") != key:
+            return None
+        return record
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self, grid: SweepGrid) -> SweepReport:
+        started = time.perf_counter()
+        cells: dict[int, SweepCell] = {}
+        pending: list[tuple[int, dict, Path]] = []
+
+        for position, (experiment, scenario, seed) in enumerate(grid.cells()):
+            spec = get_experiment(experiment)
+            key = cell_cache_key(spec, scenario, seed)
+            path = self.cell_path(experiment, scenario, seed, key)
+            cached = self._load_cached(path, key)
+            if cached is not None:
+                cells[position] = SweepCell(
+                    experiment=experiment,
+                    scenario=scenario,
+                    seed=seed,
+                    cell_seed=cached["cell_seed"],
+                    result=cached["result"],
+                    from_cache=True,
+                    elapsed_s=0.0,
+                    path=path,
+                    cache_key=key,
+                )
+                continue
+            payload = {
+                "experiment": experiment,
+                "scenario": scenario.to_jsonable(),
+                "seed": seed,
+                "cell_seed": derive_cell_seed(experiment, scenario.name, seed),
+                "cache_key": key,
+            }
+            pending.append((position, payload, path))
+
+        records = self._execute(payload for _, payload, _ in pending)
+        for (position, _, path), record in zip(pending, records):
+            self._persist(path, record)
+            scenario = Scenario.from_jsonable(record["scenario"])
+            cells[position] = SweepCell(
+                experiment=record["experiment"],
+                scenario=scenario,
+                seed=record["seed"],
+                cell_seed=record["cell_seed"],
+                result=record["result"],
+                from_cache=False,
+                elapsed_s=record["elapsed_s"],
+                path=path,
+                cache_key=record["cache_key"],
+            )
+
+        ordered = [cells[position] for position in sorted(cells)]
+        return SweepReport(cells=ordered, elapsed_s=time.perf_counter() - started)
+
+    def _execute(self, payloads: Iterable[dict]) -> list[dict]:
+        payloads = list(payloads)
+        if not payloads:
+            return []
+        processes = self.processes
+        if processes is None:
+            processes = min(len(payloads), os.cpu_count() or 1)
+        if processes <= 1 or len(payloads) == 1:
+            return [_execute_cell(payload) for payload in payloads]
+        with multiprocessing.Pool(processes=processes) as pool:
+            return pool.map(_execute_cell, payloads)
+
+    def _persist(self, path: Path, record: dict) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".json.tmp")
+        with tmp.open("w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+        tmp.replace(path)
+
+
+def run_sweep(
+    experiments: Sequence[str],
+    scenarios: Optional[Sequence[Scenario]] = None,
+    seeds: Sequence[int] = (0, 1, 2, 3),
+    results_dir: str | Path = DEFAULT_RESULTS_DIR,
+    processes: Optional[int] = None,
+    use_cache: bool = True,
+) -> SweepReport:
+    """Convenience wrapper: build the grid and run it in one call."""
+    grid = SweepGrid(
+        experiments=tuple(experiments),
+        scenarios=tuple(scenarios if scenarios is not None else default_scenarios()),
+        seeds=tuple(seeds),
+    )
+    return SweepRunner(results_dir=results_dir, processes=processes, use_cache=use_cache).run(grid)

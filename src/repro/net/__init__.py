@@ -28,9 +28,15 @@ from .emulator import (
     BernoulliLoss,
     EmulatedPath,
     GilbertElliottLoss,
+    LossModel,
     PathConfig,
     PathStats,
     SymmetricPathPair,
+    bandwidth_trace_from_spec,
+    bandwidth_trace_to_spec,
+    expected_loss_rate,
+    loss_model_from_spec,
+    loss_model_to_spec,
 )
 from .events import EventHandle, EventLoop, SimulationError
 from .fec import FecConfig, FecDecoder, FecEncoder, fec_recovery_probability
@@ -88,6 +94,7 @@ __all__ = [
     "JitterBuffer",
     "JitterBufferConfig",
     "LatencySummary",
+    "LossModel",
     "NackRequest",
     "Packet",
     "PacketType",
@@ -104,8 +111,13 @@ __all__ = [
     "VideoReceiver",
     "VideoSender",
     "VideoTransportSession",
+    "bandwidth_trace_from_spec",
+    "bandwidth_trace_to_spec",
     "expected_frame_latency",
+    "expected_loss_rate",
     "fec_recovery_probability",
     "frames_in_capture_order",
+    "loss_model_from_spec",
+    "loss_model_to_spec",
     "summarize_latencies",
 ]

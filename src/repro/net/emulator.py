@@ -110,6 +110,89 @@ class BandwidthTrace:
                 break
         return float(rate)
 
+    @property
+    def mean_rate_bps(self) -> float:
+        """Time-weighted mean rate over the trace's defined horizon.
+
+        Each rate is weighted by how long it holds (the gap to the next
+        breakpoint); the final rate holds forever, so it is excluded unless
+        the trace has a single entry or zero total width.
+        """
+        times = np.asarray(self.times, dtype=float)
+        rates = np.asarray(self.rates_bps, dtype=float)
+        if len(times) < 2:
+            return float(rates[0])
+        widths = np.diff(times)
+        total = float(np.sum(widths))
+        if total <= 0.0:
+            return float(np.mean(rates))
+        return float(np.sum(widths * rates[:-1]) / total)
+
+
+# ---------------------------------------------------------------------------
+# JSON-friendly specs: scenario grids (see repro.analysis.sweeps) describe
+# loss models and bandwidth traces as plain dicts so they can be hashed,
+# persisted, and shipped across process boundaries, then rebuilt here.
+# ---------------------------------------------------------------------------
+
+
+def loss_model_from_spec(spec: Optional[dict]) -> LossModel:
+    """Build a loss model from a plain-dict spec (``{"kind": ..., params}``)."""
+    if spec is None:
+        return BernoulliLoss(0.0)
+    kind = spec.get("kind", "bernoulli")
+    params = {k: v for k, v in spec.items() if k != "kind"}
+    if kind == "bernoulli":
+        return BernoulliLoss(**params)
+    if kind == "gilbert_elliott":
+        return GilbertElliottLoss(**params)
+    raise ValueError(f"unknown loss model kind: {kind!r}")
+
+
+def loss_model_to_spec(model: LossModel) -> dict:
+    """Inverse of :func:`loss_model_from_spec` for the built-in models."""
+    if isinstance(model, BernoulliLoss):
+        return {"kind": "bernoulli", "loss_rate": model.loss_rate}
+    if isinstance(model, GilbertElliottLoss):
+        return {
+            "kind": "gilbert_elliott",
+            "p_good_to_bad": model.p_good_to_bad,
+            "p_bad_to_good": model.p_bad_to_good,
+            "loss_in_bad": model.loss_in_bad,
+            "loss_in_good": model.loss_in_good,
+        }
+    raise ValueError(f"cannot build a spec for {type(model).__name__}")
+
+
+def bandwidth_trace_from_spec(spec: Optional[dict]) -> Optional["BandwidthTrace"]:
+    if spec is None:
+        return None
+    return BandwidthTrace(times=list(spec["times"]), rates_bps=list(spec["rates_bps"]))
+
+
+def bandwidth_trace_to_spec(trace: Optional["BandwidthTrace"]) -> Optional[dict]:
+    if trace is None:
+        return None
+    return {"times": list(trace.times), "rates_bps": list(trace.rates_bps)}
+
+
+def expected_loss_rate(model: LossModel, samples: int = 20_000, seed: int = 0) -> float:
+    """Long-run drop probability of a loss model.
+
+    Analytic for the built-in models; an empirical estimate (on a copy, so
+    stateful models are not perturbed) for anything else.
+    """
+    if isinstance(model, BernoulliLoss):
+        return model.loss_rate
+    if isinstance(model, GilbertElliottLoss):
+        return model.steady_state_loss
+    import copy
+
+    probe = copy.deepcopy(model)
+    rng = np.random.default_rng(seed)
+    drops = sum(probe.should_drop(rng) for _ in range(samples))
+    return drops / max(samples, 1)
+
 
 @dataclass
 class PathConfig:

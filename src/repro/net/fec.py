@@ -87,23 +87,74 @@ class FecDecoder:
         self._pending_parity: dict[int, list[Packet]] = {}
         self.recovered_packets = 0
 
-    def on_data_packet(self, packet: Packet) -> None:
+    def on_data_packet(
+        self, packet: Packet, assembler: Optional["FrameAssembler"] = None
+    ) -> list[Packet]:
+        """Record a data packet and retry parity held back for its frame.
+
+        A parity packet that arrives while two or more of its covered packets
+        are missing cannot repair anything yet, but a later data arrival (for
+        example a retransmission) can reduce the hole to exactly one packet.
+        Returns any packets newly recovered by such pending parity.
+        """
+        if assembler is not None and assembler.is_complete(packet.frame_id):
+            # Late duplicate for a finished frame: track nothing, and drop
+            # any state so long sessions don't accumulate per-frame dicts.
+            self.on_frame_complete(packet.frame_id)
+            return []
         self._seen.setdefault(packet.frame_id, {})[packet.index_in_frame] = packet
+        if assembler is None:
+            return []
+        return self._retry_pending(packet.frame_id, assembler)
 
     def on_fec_packet(
         self, parity: Packet, assembler: "FrameAssembler"
     ) -> list[Packet]:
         """Attempt recovery with a parity packet.  Returns recovered packets."""
-        covers = parity.metadata.get("covers", ())
-        still_missing = set(assembler.missing_indices(parity.frame_id))
         if assembler.is_complete(parity.frame_id):
+            self.on_frame_complete(parity.frame_id)
             return []
-        missing = sorted(index for index in covers if index in still_missing)
+        covers = parity.metadata.get("covers", ())
+        missing = self._missing_covered(covers, parity.frame_id, assembler)
         if len(missing) != 1:
             # Either nothing to repair or more losses than the parity can fix.
-            self._pending_parity.setdefault(parity.frame_id, []).append(parity)
+            # Keep the parity around: a later retransmission may close the gap
+            # down to one packet, at which point it becomes useful.
+            if missing:
+                self._pending_parity.setdefault(parity.frame_id, []).append(parity)
             return []
-        index = missing[0]
+        return [self._recover(parity, missing[0])]
+
+    def on_frame_complete(self, frame_id: int) -> None:
+        """Drop per-frame state once a frame is fully reassembled."""
+        self._pending_parity.pop(frame_id, None)
+        self._seen.pop(frame_id, None)
+
+    @property
+    def pending_parity_frames(self) -> int:
+        return len(self._pending_parity)
+
+    def _missing_covered(
+        self, covers: tuple[int, ...], frame_id: int, assembler: "FrameAssembler"
+    ) -> list[int]:
+        """Covered indices still missing, from the assembler's view minus
+        packets the decoder has just seen or recovered (they may not have
+        reached the assembler yet when this is called mid-delivery).
+
+        When no packet of the frame has reached the assembler at all (a
+        parity packet outran — or outlived — the whole group), every covered
+        index counts as missing rather than none of them:
+        ``FrameAssembler.missing_indices`` returns ``()`` for unknown frames.
+        """
+        if assembler.capture_time(frame_id) is None:
+            missing = set(covers)
+        else:
+            still = set(assembler.missing_indices(frame_id))
+            missing = {index for index in covers if index in still}
+        missing -= set(self._seen.get(frame_id, {}))
+        return sorted(missing)
+
+    def _recover(self, parity: Packet, index: int) -> Packet:
         recovered = Packet(
             sequence=parity.sequence,
             frame_id=parity.frame_id,
@@ -117,7 +168,32 @@ class FecDecoder:
         )
         self._seen.setdefault(parity.frame_id, {})[index] = recovered
         self.recovered_packets += 1
-        return [recovered]
+        return recovered
+
+    def _retry_pending(self, frame_id: int, assembler: "FrameAssembler") -> list[Packet]:
+        pending = self._pending_parity.get(frame_id)
+        if not pending:
+            return []
+        if assembler.is_complete(frame_id):
+            self.on_frame_complete(frame_id)
+            return []
+        recovered: list[Packet] = []
+        remaining: list[Packet] = []
+        for parity in pending:
+            covers = parity.metadata.get("covers", ())
+            missing = self._missing_covered(covers, frame_id, assembler)
+            if not missing:
+                continue  # Everything this parity covers has arrived.
+            if len(missing) == 1:
+                packet = self._recover(parity, missing[0])
+                recovered.append(packet)
+            else:
+                remaining.append(parity)
+        if remaining:
+            self._pending_parity[frame_id] = remaining
+        else:
+            self._pending_parity.pop(frame_id, None)
+        return recovered
 
 
 def fec_recovery_probability(packet_count: int, loss_rate: float, group_size: int) -> float:
@@ -138,6 +214,8 @@ def fec_recovery_probability(packet_count: int, loss_rate: float, group_size: in
         k = min(group_size, remaining)
         n = k + 1
         p_ok = (1 - loss_rate) ** n + n * loss_rate * (1 - loss_rate) ** (n - 1)
-        probability *= p_ok
+        # Floating-point rounding can push the binomial sum marginally above
+        # 1.0 for tiny loss rates; the true probability is bounded by 1.
+        probability *= min(max(p_ok, 0.0), 1.0)
         remaining -= k
     return probability

@@ -157,16 +157,21 @@ def summarize_latencies(
             delivery_ratio=0.0,
             mean_retransmissions=mean_retrans,
         )
+    low = float(np.min(values))
+    high = float(np.max(values))
+    # Pairwise summation can land np.mean a few ULPs outside [min, max];
+    # the true mean is always within the sample range.
+    mean = min(max(float(np.mean(values)), low), high)
     return LatencySummary(
         count=count,
         delivered=delivered,
-        mean_s=float(np.mean(values)),
+        mean_s=mean,
         median_s=float(np.median(values)),
         p90_s=float(np.percentile(values, 90)),
         p95_s=float(np.percentile(values, 95)),
         p99_s=float(np.percentile(values, 99)),
-        max_s=float(np.max(values)),
-        min_s=float(np.min(values)),
+        max_s=high,
+        min_s=low,
         stddev_s=float(np.std(values)),
         delivery_ratio=delivered / count if count else 1.0,
         mean_retransmissions=mean_retrans,

@@ -200,9 +200,14 @@ class VideoReceiver:
                 for data_packet in recovered:
                     self._accept(data_packet, arrival_time)
             return
+        recovered: list[Packet] = []
         if self._fec_decoder is not None:
-            self._fec_decoder.on_data_packet(packet)
+            # Recording the packet may let previously-pending parity repair
+            # the remaining hole in its group.
+            recovered = self._fec_decoder.on_data_packet(packet, self.assembler)
         self._accept(packet, arrival_time)
+        for data_packet in recovered:
+            self._accept(data_packet, arrival_time)
 
     def _accept(self, packet: Packet, arrival_time: float) -> None:
         self._track_sequence(packet)
@@ -228,6 +233,8 @@ class VideoReceiver:
 
     def _complete_frame(self, frame_id: int, complete_time: float) -> None:
         self.stats.record_completion(frame_id, complete_time)
+        if self._fec_decoder is not None:
+            self._fec_decoder.on_frame_complete(frame_id)
         capture_time, send_time, size = self._frame_meta.get(frame_id, (0.0, 0.0, 0))
         event = FrameDeliveryEvent(
             frame_id=frame_id,

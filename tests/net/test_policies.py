@@ -17,7 +17,8 @@ from repro.net.congestion import (
     GoogleCongestionControl,
     RateSample,
 )
-from repro.net.fec import FecConfig, fec_recovery_probability
+from repro.net.fec import FecConfig, FecDecoder, FecEncoder, fec_recovery_probability
+from repro.net.packet import FrameAssembler, Packetizer
 from repro.net.jitter_buffer import (
     JitterBuffer,
     JitterBufferConfig,
@@ -224,6 +225,138 @@ class TestFec:
     def test_property_probability_valid(self, packets, loss, group):
         p = fec_recovery_probability(packets, loss, group)
         assert 0.0 <= p <= 1.0
+
+    def test_tiny_loss_rate_does_not_overflow_one(self):
+        """Float rounding on tiny loss rates must not push the product above 1."""
+        p = fec_recovery_probability(packet_count=60, loss_rate=1e-12, group_size=1)
+        assert p <= 1.0
+
+
+class TestFecDecoderPendingParity:
+    """The decoder must retry parity that arrived before it could repair."""
+
+    def _frame(self, config, packet_count=4):
+        packetizer = Packetizer(mtu_bytes=1200)
+        packets = packetizer.packetize(
+            frame_id=0, frame_bytes=1100 * packet_count, capture_time=0.0
+        )
+        assert len(packets) == packet_count
+        parity = FecEncoder(config).protect(packets, packetizer)
+        return packets, parity
+
+    def test_pending_parity_retried_on_late_data_packet(self):
+        config = FecConfig(group_size=4)
+        packets, parity_packets = self._frame(config)
+        decoder = FecDecoder(config)
+        assembler = FrameAssembler()
+
+        # Packets 0 and 1 arrive; 2 and 3 are lost.
+        for packet in packets[:2]:
+            decoder.on_data_packet(packet, assembler)
+            assembler.on_packet(packet, arrival_time=0.01)
+
+        # Parity arrives but two covered packets are missing: nothing yet.
+        assert decoder.on_fec_packet(parity_packets[0], assembler) == []
+        assert decoder.pending_parity_frames == 1
+
+        # A retransmission of packet 2 closes the hole to one: the pending
+        # parity now recovers packet 3.
+        recovered = decoder.on_data_packet(packets[2], assembler)
+        assert [p.index_in_frame for p in recovered] == [3]
+        assert decoder.recovered_packets == 1
+        assert decoder.pending_parity_frames == 0
+
+    def test_pending_parity_purged_on_frame_completion(self):
+        config = FecConfig(group_size=4)
+        packets, parity_packets = self._frame(config)
+        decoder = FecDecoder(config)
+        assembler = FrameAssembler()
+
+        for packet in packets[:2]:
+            decoder.on_data_packet(packet, assembler)
+            assembler.on_packet(packet, arrival_time=0.01)
+        decoder.on_fec_packet(parity_packets[0], assembler)
+        assert decoder.pending_parity_frames == 1
+
+        # Both missing packets are retransmitted; the frame completes.
+        recovered = decoder.on_data_packet(packets[2], assembler)
+        for packet in [packets[2], *recovered]:
+            assembler.on_packet(packet, arrival_time=0.02)
+        decoder.on_frame_complete(0)
+        assert decoder.pending_parity_frames == 0
+        assert decoder._seen == {}
+
+    def test_pending_dict_does_not_grow_across_completed_frames(self):
+        config = FecConfig(group_size=4)
+        decoder = FecDecoder(config)
+        assembler = FrameAssembler()
+        packetizer = Packetizer(mtu_bytes=1200)
+        encoder = FecEncoder(config)
+
+        for frame_id in range(50):
+            packets = packetizer.packetize(
+                frame_id=frame_id, frame_bytes=1100 * 4, capture_time=frame_id / 30
+            )
+            parity = encoder.protect(packets, packetizer)[0]
+            # First two packets arrive, then parity (held pending), then the
+            # rest arrive and the frame completes.
+            for packet in packets[:2]:
+                decoder.on_data_packet(packet, assembler)
+                assembler.on_packet(packet, arrival_time=frame_id / 30)
+            decoder.on_fec_packet(parity, assembler)
+            for packet in packets[2:]:
+                recovered = decoder.on_data_packet(packet, assembler)
+                assembler.on_packet(packet, arrival_time=frame_id / 30)
+                for extra in recovered:
+                    assembler.on_packet(extra, arrival_time=frame_id / 30)
+            decoder.on_frame_complete(frame_id)
+
+        assert decoder.pending_parity_frames == 0
+        assert decoder._seen == {}
+
+    def test_parity_arriving_before_any_data_is_kept_pending(self):
+        """A burst can drop the whole group while the parity survives."""
+        config = FecConfig(group_size=4)
+        packets, parity_packets = self._frame(config)
+        decoder = FecDecoder(config)
+        assembler = FrameAssembler()
+
+        # Parity outran every data packet: the assembler knows nothing of
+        # the frame yet, so all covered indices count as missing.
+        assert decoder.on_fec_packet(parity_packets[0], assembler) == []
+        assert decoder.pending_parity_frames == 1
+
+        # Retransmissions restore three of the four packets; the pending
+        # parity then recovers the last one.
+        recovered = []
+        for packet in packets[:3]:
+            recovered = decoder.on_data_packet(packet, assembler)
+            assembler.on_packet(packet, arrival_time=0.1)
+        assert [p.index_in_frame for p in recovered] == [3]
+        assert decoder.pending_parity_frames == 0
+
+    def test_single_packet_group_recovered_from_parity_alone(self):
+        config = FecConfig(group_size=1)
+        packetizer = Packetizer(mtu_bytes=1200)
+        packets = packetizer.packetize(frame_id=0, frame_bytes=800, capture_time=0.0)
+        parity = FecEncoder(config).protect(packets, packetizer)[0]
+        decoder = FecDecoder(config)
+        assembler = FrameAssembler()
+        # The lone data packet is lost; its parity fully reconstructs it.
+        recovered = decoder.on_fec_packet(parity, assembler)
+        assert [p.index_in_frame for p in recovered] == [0]
+
+    def test_satisfied_parity_is_not_kept_pending(self):
+        config = FecConfig(group_size=4)
+        packets, parity_packets = self._frame(config)
+        decoder = FecDecoder(config)
+        assembler = FrameAssembler()
+
+        for packet in packets:
+            decoder.on_data_packet(packet, assembler)
+            assembler.on_packet(packet, arrival_time=0.01)
+        assert decoder.on_fec_packet(parity_packets[0], assembler) == []
+        assert decoder.pending_parity_frames == 0
 
 
 class TestJitterBuffer:
