@@ -25,6 +25,7 @@ import inspect
 import json
 import multiprocessing
 import os
+import re
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -182,11 +183,67 @@ def derive_cell_seed(experiment: str, scenario_name: str, seed: int) -> int:
     return int.from_bytes(digest[:4], "big")
 
 
-def cell_cache_key(spec: ExperimentSpec, scenario: Scenario, seed: int) -> str:
-    """Content hash of (runner source, scenario, seed).
+_SLUG_UNSAFE = re.compile(r"[^A-Za-z0-9._-]+")
 
-    Editing the runner, the scenario, or the seed invalidates the cell; an
-    unchanged cell re-loads its persisted JSON instead of re-running.
+
+def scenario_slug(name: str) -> str:
+    """Filesystem-safe form of a scenario name for result file paths.
+
+    ``Scenario.name`` is unconstrained user input; anything outside
+    ``[A-Za-z0-9._-]`` (path separators especially) is collapsed to ``-``,
+    leading/trailing dots and dashes are stripped so names like ``"../x"``
+    cannot write outside the results directory, and the result is truncated
+    to stay within filesystem name limits.  Names that slug identically stay
+    distinct on disk through the cache-key suffix, which hashes the real name.
+    """
+    slug = _SLUG_UNSAFE.sub("-", name).strip(".-")[:100]
+    return slug or "scenario"
+
+
+def _compute_package_fingerprint() -> str:
+    """Content hash of the entire ``repro`` source tree.
+
+    A runner's result depends on far more than its own source — the
+    transport, emulator, codec and every other module it calls — so the
+    cache key folds in a fingerprint of the whole package: editing shared
+    simulator code invalidates cached cells instead of silently serving
+    stale results.
+    """
+    package_root = Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+_package_fingerprint_cache: Optional[str] = None
+
+
+def _package_fingerprint() -> str:
+    """The tree fingerprint, computed on first use and frozen thereafter.
+
+    Lazy, so merely importing the package does not pay for hashing the
+    tree; frozen, so every sweep of a long-lived process keys its results
+    to one snapshot rather than re-reading files a stale loaded module no
+    longer matches.  (An edit landing between import and the first sweep
+    of a process can still skew the snapshot — restart the process after
+    editing source, as with any Python code change.)
+    """
+    global _package_fingerprint_cache
+    if _package_fingerprint_cache is None:
+        _package_fingerprint_cache = _compute_package_fingerprint()
+    return _package_fingerprint_cache
+
+
+def cell_cache_key(spec: ExperimentSpec, scenario: Scenario, seed: int) -> str:
+    """Content hash of (runner source, package source tree, scenario, seed).
+
+    Editing the runner, any module of the ``repro`` package, the scenario,
+    or the seed invalidates the cell; an unchanged cell re-loads its
+    persisted JSON instead of re-running.
     """
     try:
         source = inspect.getsource(spec.fn)
@@ -196,6 +253,7 @@ def cell_cache_key(spec: ExperimentSpec, scenario: Scenario, seed: int) -> str:
         {
             "experiment": spec.name,
             "source": source,
+            "package": _package_fingerprint(),
             "scenario": scenario.to_jsonable(),
             "seed": seed,
         },
@@ -311,13 +369,14 @@ class SweepRunner:
     ``processes=None`` sizes the pool to ``min(cells, cpu_count)``;
     ``processes<=1`` runs cells inline (useful under pytest and for
     debugging).  Each cell's JSON lands at
-    ``<results_dir>/<experiment>/<scenario>-seed<k>-<hash12>.json``.
+    ``<results_dir>/<experiment>/<scenario-slug>-seed<k>-<hash12>.json``.
 
-    The cache key covers the runner's own source, the scenario, and the
-    seed — not the transitive code the runner calls.  After editing shared
-    simulator code (transport, emulator, codec, ...), pass
-    ``use_cache=False`` (or delete the results directory) to force fresh
-    runs; results are still persisted either way.
+    The cache key covers the runner's source, a fingerprint of the whole
+    ``repro`` package, the scenario, and the seed, so editing shared
+    simulator code (transport, emulator, codec, ...) invalidates cached
+    cells automatically.  Pass ``use_cache=False`` (or delete the results
+    directory) to force fresh runs regardless; results are still persisted
+    either way.
     """
 
     def __init__(
@@ -333,7 +392,8 @@ class SweepRunner:
     # -- cache ----------------------------------------------------------------
 
     def cell_path(self, experiment: str, scenario: Scenario, seed: int, key: str) -> Path:
-        return self.results_dir / experiment / f"{scenario.name}-seed{seed}-{key[:12]}.json"
+        slug = scenario_slug(scenario.name)
+        return self.results_dir / experiment / f"{slug}-seed{seed}-{key[:12]}.json"
 
     def _load_cached(self, path: Path, key: str) -> Optional[dict]:
         if not self.use_cache or not path.exists():

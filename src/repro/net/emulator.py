@@ -124,9 +124,15 @@ class BandwidthTrace:
             return float(rates[0])
         widths = np.diff(times)
         total = float(np.sum(widths))
+        low = float(np.min(rates))
+        high = float(np.max(rates))
         if total <= 0.0:
-            return float(np.mean(rates))
-        return float(np.sum(widths * rates[:-1]) / total)
+            mean = float(np.mean(rates))
+        else:
+            mean = float(np.sum(widths * rates[:-1]) / total)
+        # Accumulated rounding can land the weighted mean a few ULPs outside
+        # [min, max]; the true mean is always within the rate range.
+        return min(max(mean, low), high)
 
 
 # ---------------------------------------------------------------------------

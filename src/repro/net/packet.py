@@ -197,6 +197,10 @@ class FrameAssembler:
         have = self._received[frame_id]
         return tuple(index for index in range(expected) if index not in have)
 
+    def has_packet(self, frame_id: int, index: int) -> bool:
+        """Whether packet ``index`` of ``frame_id`` has already been received."""
+        return index in self._received.get(frame_id, set())
+
     def is_complete(self, frame_id: int) -> bool:
         return frame_id in self._complete_time
 

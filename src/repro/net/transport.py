@@ -182,7 +182,18 @@ class VideoReceiver:
         self._nack_rounds: dict[int, int] = {}
         self._check_scheduled: set[int] = set()
         self._frame_meta: dict[int, tuple[float, float, int]] = {}
-        self._fec_decoder = FecDecoder(config.fec) if config.fec else None
+        # Decoder state for an incomplete frame outlives the NACK machinery's
+        # give-up point by a few retry intervals (late retransmissions still
+        # in flight can combine with pending parity).
+        self._fec_decoder = (
+            FecDecoder(
+                config.fec,
+                stale_timeout_s=(config.max_nack_rounds + 4) * config.nack_retry_interval_s,
+            )
+            if config.fec
+            else None
+        )
+        self._fec_flush_scheduled: set[int] = set()
         self.delivered_frames: list[FrameDeliveryEvent] = []
         # Sequence-gap tracking (covers frames whose packets were all lost).
         # ``_missing_sequences`` holds sequences observed as gaps and not yet received.
@@ -196,6 +207,7 @@ class VideoReceiver:
             recovered = None
             if self._fec_decoder is not None:
                 recovered = self._fec_decoder.on_fec_packet(packet, self.assembler)
+                self._maybe_schedule_fec_flush(packet.frame_id)
             if recovered:
                 for data_packet in recovered:
                     self._accept(data_packet, arrival_time)
@@ -208,15 +220,48 @@ class VideoReceiver:
         self._accept(packet, arrival_time)
         for data_packet in recovered:
             self._accept(data_packet, arrival_time)
+        if self._fec_decoder is not None:
+            self._maybe_schedule_fec_flush(packet.frame_id)
+
+    def _maybe_schedule_fec_flush(self, frame_id: int) -> None:
+        """Arrange a deferred retry for parity held without loss evidence.
+
+        Pending parity is normally retried when a later packet arrives, but
+        for a frame at the tail of a burst (or of the session) no later
+        packet may ever come.  After roughly one NACK interval any reordered
+        in-flight packet has landed, so remaining holes can be presumed lost
+        and the parity flushed.
+        """
+        if not self._fec_decoder.has_pending(frame_id):
+            return
+        if frame_id in self._fec_flush_scheduled:
+            return
+        self._fec_flush_scheduled.add(frame_id)
+        self.loop.schedule(
+            self.config.nack_retry_interval_s, lambda: self._flush_fec(frame_id)
+        )
+
+    def _flush_fec(self, frame_id: int) -> None:
+        self._fec_flush_scheduled.discard(frame_id)
+        if self._fec_decoder is None or self.assembler.is_complete(frame_id):
+            return
+        for packet in self._fec_decoder.flush_frame(frame_id, self.assembler):
+            self._accept(packet, self.loop.now)
 
     def _accept(self, packet: Packet, arrival_time: float) -> None:
         self._track_sequence(packet)
         frame_id = packet.frame_id
+        # A duplicate delivery (a retransmission racing an FEC recovery, or a
+        # reordered original arriving after its parity stood in for it) must
+        # not count its bytes against the frame twice.
+        duplicate = self.assembler.has_packet(frame_id, packet.index_in_frame)
         if frame_id not in self._frame_meta:
             self._frame_meta[frame_id] = (packet.capture_time, packet.send_time, 0)
         capture_time, first_send, size = self._frame_meta[frame_id]
         first_send = min(first_send, packet.send_time) if size else packet.send_time
-        self._frame_meta[frame_id] = (capture_time, first_send, size + packet.size_bytes)
+        if not duplicate:
+            size += packet.size_bytes
+        self._frame_meta[frame_id] = (capture_time, first_send, size)
 
         completed = self.assembler.on_packet(packet, arrival_time)
         if completed:

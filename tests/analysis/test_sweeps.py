@@ -18,7 +18,13 @@ from repro.analysis import (
     run_experiment,
     trace_scenario,
 )
-from repro.analysis.sweeps import cell_cache_key, derive_cell_seed, to_jsonable
+from repro.analysis import sweeps
+from repro.analysis.sweeps import (
+    cell_cache_key,
+    derive_cell_seed,
+    scenario_slug,
+    to_jsonable,
+)
 from repro.net.emulator import BandwidthTrace, BernoulliLoss, GilbertElliottLoss
 
 
@@ -106,6 +112,39 @@ class TestSeedingAndHashing:
         assert cell_cache_key(spec, a, 0) == cell_cache_key(spec, a, 0)
         assert cell_cache_key(spec, a, 0) != cell_cache_key(spec, b, 0)
         assert cell_cache_key(spec, a, 0) != cell_cache_key(spec, a, 1)
+
+    def test_cache_key_sensitive_to_package_source(self, monkeypatch):
+        """Editing shared simulator code must invalidate cached cells."""
+        spec = get_experiment("section1_latency_budget")
+        scenario = bernoulli_scenario(0.02)
+        before = cell_cache_key(spec, scenario, 0)
+        monkeypatch.setattr(sweeps, "_package_fingerprint", lambda: "edited-tree")
+        assert cell_cache_key(spec, scenario, 0) != before
+
+    def test_package_fingerprint_stable(self):
+        assert sweeps._package_fingerprint() == sweeps._package_fingerprint()
+        assert len(sweeps._package_fingerprint()) == 64
+
+
+class TestScenarioSlug:
+    def test_safe_names_unchanged(self):
+        assert scenario_slug("bernoulli-0.02") == "bernoulli-0.02"
+        assert scenario_slug("trace_droop.v2") == "trace_droop.v2"
+
+    def test_path_separators_and_dots_neutralised(self):
+        assert "/" not in scenario_slug("a/b")
+        assert scenario_slug("../../etc/passwd") == "etc-passwd"
+        assert scenario_slug("..") == "scenario"
+        assert scenario_slug("") == "scenario"
+
+    def test_long_names_truncated(self):
+        assert len(scenario_slug("a" * 300)) <= 100
+
+    def test_cell_path_stays_inside_results_dir(self, tmp_path):
+        runner = SweepRunner(results_dir=tmp_path)
+        hostile = Scenario(name="../../escape")
+        path = runner.cell_path("exp", hostile, 0, "deadbeefdeadbeef")
+        assert path.resolve().is_relative_to(tmp_path.resolve())
 
 
 class TestToJsonable:

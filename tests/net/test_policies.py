@@ -322,7 +322,8 @@ class TestFecDecoderPendingParity:
         assembler = FrameAssembler()
 
         # Parity outran every data packet: the assembler knows nothing of
-        # the frame yet, so all covered indices count as missing.
+        # the frame yet, so the parity is held pending until loss evidence
+        # (a known frame or a later frame's packet) arrives.
         assert decoder.on_fec_packet(parity_packets[0], assembler) == []
         assert decoder.pending_parity_frames == 1
 
@@ -335,16 +336,122 @@ class TestFecDecoderPendingParity:
         assert [p.index_in_frame for p in recovered] == [3]
         assert decoder.pending_parity_frames == 0
 
-    def test_single_packet_group_recovered_from_parity_alone(self):
+    def test_single_packet_group_recovered_once_loss_is_evident(self):
         config = FecConfig(group_size=1)
         packetizer = Packetizer(mtu_bytes=1200)
         packets = packetizer.packetize(frame_id=0, frame_bytes=800, capture_time=0.0)
         parity = FecEncoder(config).protect(packets, packetizer)[0]
         decoder = FecDecoder(config)
         assembler = FrameAssembler()
-        # The lone data packet is lost; its parity fully reconstructs it.
+        # The lone data packet was dropped.  At parity arrival the decoder
+        # cannot yet tell a loss from a reordered in-flight packet, so the
+        # parity is held pending rather than recovering immediately.
+        assert decoder.on_fec_packet(parity, assembler) == []
+        assert decoder.pending_parity_frames == 1
+        # A packet of the next frame shows frame 0's transmission is over;
+        # the pending parity then reconstructs the lost packet.
+        next_frame = packetizer.packetize(frame_id=1, frame_bytes=800, capture_time=1 / 30)
+        recovered = decoder.on_data_packet(next_frame[0], assembler)
+        assert [(p.frame_id, p.index_in_frame) for p in recovered] == [(0, 0)]
+        assert decoder.pending_parity_frames == 0
+
+    def test_later_frame_parity_is_loss_evidence_for_earlier_frame(self):
+        """A parity of a new frame, like a data packet of one, proves older
+        frames' transmissions are over and retries their pending parity."""
+        config = FecConfig(group_size=1)
+        packetizer = Packetizer(mtu_bytes=1200)
+        encoder = FecEncoder(config)
+        decoder = FecDecoder(config)
+        assembler = FrameAssembler()
+        frame0 = packetizer.packetize(frame_id=0, frame_bytes=800, capture_time=0.0)
+        parity0 = encoder.protect(frame0, packetizer)[0]
+        # Frame 0's lone data packet is lost; its parity is held pending.
+        assert decoder.on_fec_packet(parity0, assembler) == []
+        assert decoder.pending_parity_frames == 1
+        # Frame 1's parity jitters ahead of frame 1's data: its arrival
+        # alone is evidence for frame 0 and recovers the lost packet.
+        frame1 = packetizer.packetize(frame_id=1, frame_bytes=800, capture_time=1 / 30)
+        parity1 = encoder.protect(frame1, packetizer)[0]
+        recovered = decoder.on_fec_packet(parity1, assembler)
+        assert [(p.frame_id, p.index_in_frame) for p in recovered] == [(0, 0)]
+        assert decoder.pending_parity_frames == 1  # frame 1's own parity waits
+
+    def test_reordered_parity_does_not_fabricate_recovery(self):
+        """Jitter can deliver a parity ahead of its undropped data packet;
+        that must not be counted as an FEC recovery."""
+        config = FecConfig(group_size=1)
+        packetizer = Packetizer(mtu_bytes=1200)
+        packets = packetizer.packetize(frame_id=0, frame_bytes=800, capture_time=0.0)
+        parity = FecEncoder(config).protect(packets, packetizer)[0]
+        decoder = FecDecoder(config)
+        assembler = FrameAssembler()
+        assert decoder.on_fec_packet(parity, assembler) == []
+        # The in-flight data packet arrives: nothing was lost, nothing to
+        # recover, and the now-useless parity is discarded.
+        assert decoder.on_data_packet(packets[0], assembler) == []
+        assembler.on_packet(packets[0], arrival_time=0.02)
+        assert decoder.recovered_packets == 0
+        assert decoder.pending_parity_frames == 0
+
+    def test_reconstruction_reclassified_when_original_arrives(self):
+        """A known-frame reconstruction of an in-flight packet must not stand
+        as a repair once the original shows up."""
+        config = FecConfig(group_size=2)
+        packetizer = Packetizer(mtu_bytes=1200)
+        packets = packetizer.packetize(frame_id=0, frame_bytes=1100 * 2, capture_time=0.0)
+        parity = FecEncoder(config).protect(packets, packetizer)[0]
+        decoder = FecDecoder(config)
+        assembler = FrameAssembler()
+        # Packet 0 arrives and the frame becomes known; the parity then
+        # XOR-reconstructs packet 1, which is actually still in flight.
+        decoder.on_data_packet(packets[0], assembler)
+        assembler.on_packet(packets[0], arrival_time=0.01)
         recovered = decoder.on_fec_packet(parity, assembler)
-        assert [p.index_in_frame for p in recovered] == [0]
+        assert [p.index_in_frame for p in recovered] == [1]
+        assert decoder.recovered_packets == 1
+        # The original of packet 1 arrives: the reconstruction was premature.
+        decoder.on_data_packet(packets[1], assembler)
+        assert decoder.recovered_packets == 0
+        assert decoder.spurious_recoveries == 1
+
+    def test_retransmission_does_not_reclassify_genuine_repair(self):
+        config = FecConfig(group_size=2)
+        packetizer = Packetizer(mtu_bytes=1200)
+        packets = packetizer.packetize(frame_id=0, frame_bytes=1100 * 2, capture_time=0.0)
+        parity = FecEncoder(config).protect(packets, packetizer)[0]
+        decoder = FecDecoder(config)
+        assembler = FrameAssembler()
+        # Packet 1 was genuinely lost; FEC repairs it from packet 0 + parity.
+        decoder.on_data_packet(packets[0], assembler)
+        assembler.on_packet(packets[0], arrival_time=0.01)
+        assert decoder.on_fec_packet(parity, assembler) != []
+        # The NACK machinery retransmits it anyway (it cannot know FEC
+        # filled the hole); the RTX copy must not demote the repair.
+        rtx = packetizer.retransmission_copy(packets[1], request_time=0.05)
+        decoder.on_data_packet(rtx, assembler)
+        assert decoder.recovered_packets == 1
+        assert decoder.spurious_recoveries == 0
+
+    def test_first_data_packet_does_not_recover_in_flight_groupmate(self):
+        config = FecConfig(group_size=2)
+        packetizer = Packetizer(mtu_bytes=1200)
+        packets = packetizer.packetize(frame_id=0, frame_bytes=1100 * 2, capture_time=0.0)
+        assert len(packets) == 2
+        parity = FecEncoder(config).protect(packets, packetizer)[0]
+        decoder = FecDecoder(config)
+        assembler = FrameAssembler()
+        # Parity reordered ahead of both data packets of its group.
+        assert decoder.on_fec_packet(parity, assembler) == []
+        # The first data packet arrives.  Its groupmate is still in flight
+        # and there is no loss evidence, so no recovery is fabricated.
+        assert decoder.on_data_packet(packets[0], assembler) == []
+        assembler.on_packet(packets[0], arrival_time=0.02)
+        assert decoder.recovered_packets == 0
+        assert decoder.pending_parity_frames == 1
+        # The groupmate arrives too: everything is accounted for.
+        assert decoder.on_data_packet(packets[1], assembler) == []
+        assert decoder.recovered_packets == 0
+        assert decoder.pending_parity_frames == 0
 
     def test_satisfied_parity_is_not_kept_pending(self):
         config = FecConfig(group_size=4)

@@ -57,6 +57,86 @@ class TestLosslessDelivery:
         assert all(record.retransmitted_packets == 0 for record in stats.frames)
 
 
+class _DropNthOffered:
+    """Loss model that drops exactly the packets at the given offer indices."""
+
+    def __init__(self, drop_indices):
+        self.drop_indices = set(drop_indices)
+        self.offered = 0
+
+    def should_drop(self, rng):
+        drop = self.offered in self.drop_indices
+        self.offered += 1
+        return drop
+
+
+class TestFecFlush:
+    def test_tail_frame_loss_recovered_without_later_packets(self):
+        """The session's final frame loses its data packet but its parity
+        survives.  No later packet ever arrives to provide loss evidence,
+        so only the deferred flush can complete the frame."""
+        # Offer order: f0 data, f0 parity, f1 data, f1 parity — drop f1 data.
+        config = TransportConfig(fec=FecConfig(group_size=1))
+        session = VideoTransportSession(
+            uplink_config=PathConfig(loss_model=_DropNthOffered([2]), seed=1),
+            transport_config=config,
+        )
+        session.send_frame(0, size_bytes=1000, capture_time=0.0)
+        session.loop.schedule_at(1 / 30, lambda: session.send_frame(1, 1000, 1 / 30))
+        session.run()
+        assert session.stats.summary().delivered == 2
+        assert session.receiver._fec_decoder.recovered_packets == 1
+        assert session.receiver._fec_decoder.pending_parity_frames == 0
+
+    def test_recovered_packet_does_not_cancel_video_sequence_nack(self):
+        """A reconstruction carries no video-space sequence number.
+
+        Offer order: f0 seq0, seq1, parity; f1 seq2, seq3, parity.  Dropping
+        seq1, f0's parity and seq3 makes frame 1's parity repair seq3's
+        hole; the reconstruction must not be mistaken for video seq 1, whose
+        sequence-NACK is frame 0's only path to completion.
+        """
+        config = TransportConfig(fec=FecConfig(group_size=2))
+        session = VideoTransportSession(
+            uplink_config=PathConfig(loss_model=_DropNthOffered([1, 2, 4]), seed=1),
+            transport_config=config,
+        )
+        session.send_frame(0, size_bytes=2400, capture_time=0.0)
+        session.loop.schedule_at(1 / 30, lambda: session.send_frame(1, 2400, 1 / 30))
+        session.run()
+        assert session.stats.summary().delivered == 2
+
+    def test_abandoned_frame_state_pruned(self):
+        """Frames that never complete must not grow decoder state forever."""
+        from repro.net.fec import FecDecoder
+        from repro.net.packet import FrameAssembler, Packetizer
+        from repro.net.fec import FecEncoder
+
+        config = FecConfig(group_size=2)
+        decoder = FecDecoder(config)
+        assembler = FrameAssembler()
+        packetizer = Packetizer(mtu_bytes=1200)
+        encoder = FecEncoder(config)
+        # Frame 0 loses both packets of its group; only the parity arrives,
+        # so it is held pending and the frame can never complete.
+        doomed = packetizer.packetize(frame_id=0, frame_bytes=1100 * 2, capture_time=0.0)
+        decoder.on_fec_packet(encoder.protect(doomed, packetizer)[0], assembler)
+        assert decoder.pending_parity_frames == 1
+        # A long healthy tail of frames; once frame 0's capture time falls
+        # behind the stale timeout its pending parity and seen-packet state
+        # are released.
+        for frame_id in range(1, int(decoder.stale_timeout_s * 30) + 5):
+            packets = packetizer.packetize(
+                frame_id=frame_id, frame_bytes=1100 * 2, capture_time=frame_id / 30
+            )
+            for packet in packets:
+                decoder.on_data_packet(packet, assembler)
+                assembler.on_packet(packet, arrival_time=frame_id / 30)
+            decoder.on_frame_complete(frame_id)
+        assert decoder.pending_parity_frames == 0
+        assert 0 not in decoder._seen
+
+
 class TestLossRecovery:
     def test_lost_packets_recovered_via_nack(self):
         stats = run_fixed_bitrate_session(
