@@ -1,16 +1,23 @@
 """Multi-scenario sweep: every loss regime × seeds × experiments, in parallel.
 
 The paper evaluates each figure at one operating point (a Bernoulli loss
-rate on a fixed 10 Mbps link).  This example fans three experiment runners
-out across a scenario grid — i.i.d. loss, Gilbert-Elliott bursty loss, and
-a trace-driven time-varying link — with four seeds per cell, using every
-core available.  Results are persisted as JSON under ``results/`` and
-re-running the script is (almost) free: unchanged cells load from the
-content-hash cache instead of re-executing.
+rate on a fixed 10 Mbps link).  This example fans experiment runners out
+across a scenario grid — by default i.i.d. loss, Gilbert-Elliott bursty
+loss, and a trace-driven time-varying link; with ``--corpus`` the whole
+named scenario corpus from ``repro.net.traces`` (LTE drive traces, Wi-Fi
+step drops, congestion sawtooths, handover outages, ...) — with several
+seeds per cell, using every core available.  Results are persisted as JSON
+under ``results/`` and re-running the script is (almost) free: unchanged
+cells load from the content-hash cache instead of re-executing.
+
+``--report`` aggregates the persisted cells across seeds (mean ± 95% CI
+for every numeric metric) and writes ``report.md`` / ``report.json`` next
+to them — a paste-ready cross-scenario comparison.
 
 Run with:
-    PYTHONPATH=src python examples/sweep_scenarios.py            # full grid
-    PYTHONPATH=src python examples/sweep_scenarios.py --smoke    # 2-cell CI smoke run
+    PYTHONPATH=src python examples/sweep_scenarios.py                     # full default grid
+    PYTHONPATH=src python examples/sweep_scenarios.py --smoke --report    # 4-cell CI smoke run + report
+    PYTHONPATH=src python examples/sweep_scenarios.py --corpus lte_drive loss_ladder --report
 """
 
 from __future__ import annotations
@@ -23,9 +30,13 @@ from repro.analysis import (
     SweepReport,
     SweepRunner,
     bernoulli_scenario,
+    corpus_scenarios,
+    digest_results_dir,
     gilbert_elliott_scenario,
     trace_scenario,
+    write_report,
 )
+from repro.net.traces import list_families
 
 #: Keep runner costs modest so the full grid finishes in well under a minute.
 FAST = {"duration_s": 4.0, "height": 160, "width": 288}
@@ -48,6 +59,11 @@ SCENARIOS = (
     ),
 )
 
+#: The smoke grid keeps two seeds so the --report aggregation exercises real
+#: across-seed statistics (mean ± CI) even in CI.
+SMOKE_SCENARIOS = SCENARIOS[:2]
+SMOKE_SEEDS = (0, 1)
+
 EXPERIMENTS = ("figure2_redundancy", "figure3_latency", "end_to_end_turn")
 SEEDS = (0, 1, 2, 3)
 
@@ -65,7 +81,7 @@ def summarize(report: SweepReport) -> None:
         print(f"\n  {experiment}")
         for scenario_name, group in sorted(by_scenario.items()):
             metric = _headline_metric(experiment, group)
-            print(f"    {scenario_name:<14} ({len(group)} seeds)  {metric}")
+            print(f"    {scenario_name:<20} ({len(group)} seeds)  {metric}")
 
 
 def _headline_metric(experiment: str, cells: list) -> str:
@@ -85,12 +101,56 @@ def _headline_metric(experiment: str, cells: list) -> str:
     return "(see JSON)"
 
 
+def build_grid(args: argparse.Namespace) -> SweepGrid:
+    if args.smoke:
+        return SweepGrid(
+            experiments=("figure3_latency",),
+            scenarios=SMOKE_SCENARIOS,
+            seeds=SMOKE_SEEDS,
+        )
+    seeds = tuple(range(args.seeds)) if args.seeds is not None else SEEDS
+    if args.corpus is not None:
+        families = args.corpus or None  # bare --corpus means every family
+        scenarios = tuple(
+            corpus_scenarios(seed=args.corpus_seed, families=families, **FAST)
+        )
+        return SweepGrid(experiments=EXPERIMENTS, scenarios=scenarios, seeds=seeds)
+    return SweepGrid(experiments=EXPERIMENTS, scenarios=SCENARIOS, seeds=seeds)
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="run a 2-cell grid (1 experiment × 2 scenarios × 1 seed) for CI",
+        help="run a 4-cell grid (1 experiment × 2 scenarios × 2 seeds) for CI",
+    )
+    parser.add_argument(
+        "--corpus",
+        nargs="*",
+        default=None,
+        metavar="FAMILY",
+        help=(
+            "sweep the named scenario-corpus families from repro.net.traces "
+            f"(bare --corpus takes all: {', '.join(list_families())})"
+        ),
+    )
+    parser.add_argument(
+        "--corpus-seed",
+        type=int,
+        default=0,
+        help="seed for the randomised corpus families (default 0)",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=None,
+        help="number of seeds per cell (default 4; --smoke pins 2)",
+    )
+    parser.add_argument(
+        "--report",
+        action="store_true",
+        help="aggregate the results directory into report.md / report.json",
     )
     parser.add_argument("--results-dir", default="results")
     parser.add_argument(
@@ -101,21 +161,20 @@ def main() -> None:
     )
     args = parser.parse_args()
 
-    if args.smoke:
-        grid = SweepGrid(
-            experiments=("figure3_latency",),
-            scenarios=SCENARIOS[:2],
-            seeds=(0,),
-        )
-    else:
-        grid = SweepGrid(experiments=EXPERIMENTS, scenarios=SCENARIOS, seeds=SEEDS)
-
+    grid = build_grid(args)
     runner = SweepRunner(results_dir=args.results_dir, processes=args.processes)
     print(f"sweeping {grid.cell_count} cells into {args.results_dir}/ ...")
     report = runner.run(grid)
     summarize(report)
     if report.cached:
         print("\n(cached cells were loaded from disk; delete the results dir to force re-runs)")
+
+    if args.report:
+        digest = digest_results_dir(args.results_dir)
+        print()
+        print(digest.render_text())
+        paths = write_report(digest, args.results_dir)
+        print(f"\nwrote {paths['markdown']} and {paths['json']}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,10 @@
+"""``python -m repro.analysis <results_dir>`` — the sweep report CLI.
+
+Thin delegation to :func:`repro.analysis.report.main`; a dedicated entry
+module keeps ``-m`` execution from re-importing ``report`` under two names.
+"""
+
+from .report import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

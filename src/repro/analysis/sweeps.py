@@ -149,6 +149,24 @@ def default_scenarios() -> list[Scenario]:
     ]
 
 
+def corpus_scenarios(
+    seed: int = 0,
+    families: Optional[Sequence[str]] = None,
+    **overrides: Any,
+) -> list[Scenario]:
+    """The named scenario corpus from :mod:`repro.net.traces`.
+
+    ``families=None`` takes every registered family (LTE drive traces, Wi-Fi
+    step drops, congestion sawtooths, Gilbert-Elliott grids, loss ladders,
+    handover outages, contention links, steady baselines, degrading ramps);
+    ``overrides`` merge into every scenario so one call can scale the corpus
+    to smoke-test cost.  Deterministic under ``seed``.
+    """
+    from ..net.traces import corpus
+
+    return corpus(seed=seed, families=families, overrides=overrides or None)
+
+
 # ---------------------------------------------------------------------------
 # Grid and cells
 # ---------------------------------------------------------------------------

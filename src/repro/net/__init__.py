@@ -56,6 +56,7 @@ from .packet import (
     PacketType,
 )
 from .stats import FrameRecord, LatencySummary, TransportStats, summarize_latencies
+from .traces import corpus, family_scenarios, list_families, scenario_family
 from .transport import (
     FixedBitrateWorkload,
     FrameDeliveryEvent,
@@ -113,11 +114,15 @@ __all__ = [
     "VideoTransportSession",
     "bandwidth_trace_from_spec",
     "bandwidth_trace_to_spec",
+    "corpus",
     "expected_frame_latency",
     "expected_loss_rate",
+    "family_scenarios",
     "fec_recovery_probability",
     "frames_in_capture_order",
+    "list_families",
     "loss_model_from_spec",
     "loss_model_to_spec",
+    "scenario_family",
     "summarize_latencies",
 ]

@@ -13,7 +13,8 @@ buffer adds and show that removing it leaves the MLLM input unchanged.
 
 from __future__ import annotations
 
-from collections import deque
+import heapq
+import itertools
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -58,10 +59,15 @@ class JitterBuffer:
 
     def __init__(self, config: Optional[JitterBufferConfig] = None) -> None:
         self.config = config or JitterBufferConfig()
-        self._queue: deque[BufferedFrame] = deque()
+        # Min-heap keyed on (release_time, insertion order): release times are
+        # not monotone in arrival order under jitter, so a FIFO queue would
+        # head-of-line block ready frames behind a not-yet-ready one.
+        self._queue: list[tuple[float, int, BufferedFrame]] = []
+        self._counter = itertools.count()
         self._playout_delay = self.config.initial_delay_s
         self._jitter_estimate = 0.0
         self._last_transit: Optional[float] = None
+        self._min_transit: Optional[float] = None
         self.released: list[BufferedFrame] = []
 
     @property
@@ -79,17 +85,25 @@ class JitterBuffer:
             alpha = self.config.smoothing
             self._jitter_estimate = (1 - alpha) * self._jitter_estimate + alpha * deviation
         self._last_transit = transit
+        if self._min_transit is None or transit < self._min_transit:
+            self._min_transit = transit
         target = self.config.initial_delay_s + self.config.jitter_multiplier * self._jitter_estimate
         self._playout_delay = float(
             np.clip(target, self.config.min_delay_s, self.config.max_delay_s)
         )
 
     def push(self, frame_id: int, capture_time: float, arrival_time: float, payload: object = None) -> BufferedFrame:
-        """Insert a frame; its release time is arrival plus the residual hold."""
+        """Insert a frame; it is released when the playback clock reaches it.
+
+        The playback clock is ``capture_time + min_transit + playout_delay``:
+        the minimum observed transit estimates the network's base (jitter-free)
+        delay, so an early frame (transit near the minimum) is held for the
+        full playout delay while a late frame has already consumed its hold in
+        flight and is released on (or soon after) arrival — never re-delayed
+        by the full playout delay on top of the jitter it suffered.
+        """
         self._update_jitter(capture_time, arrival_time)
-        # Release when the playback clock (capture + playout delay, measured
-        # against the earliest observed transit) reaches this frame.
-        base_transit = self._last_transit if self._last_transit is not None else 0.0
+        base_transit = self._min_transit if self._min_transit is not None else 0.0
         release_time = max(arrival_time, capture_time + base_transit + self._playout_delay)
         frame = BufferedFrame(
             frame_id=frame_id,
@@ -98,14 +112,19 @@ class JitterBuffer:
             release_time=release_time,
             payload=payload,
         )
-        self._queue.append(frame)
+        heapq.heappush(self._queue, (release_time, next(self._counter), frame))
         return frame
 
     def pop_ready(self, now: float) -> list[BufferedFrame]:
-        """Release every queued frame whose release time has passed."""
+        """Release every queued frame whose release time has passed.
+
+        Frames come out in release-time order (not arrival order): a ready
+        frame is never head-of-line blocked behind a not-yet-ready one that
+        happened to arrive earlier.
+        """
         ready: list[BufferedFrame] = []
-        while self._queue and self._queue[0].release_time <= now:
-            frame = self._queue.popleft()
+        while self._queue and self._queue[0][0] <= now:
+            _, _, frame = heapq.heappop(self._queue)
             ready.append(frame)
             self.released.append(frame)
         return ready
@@ -131,6 +150,7 @@ class PassthroughBuffer:
 
     def __init__(self) -> None:
         self.released: list[BufferedFrame] = []
+        self._pending: list[BufferedFrame] = []
 
     def push(self, frame_id: int, capture_time: float, arrival_time: float, payload: object = None) -> BufferedFrame:
         frame = BufferedFrame(
@@ -141,10 +161,19 @@ class PassthroughBuffer:
             payload=payload,
         )
         self.released.append(frame)
+        self._pending.append(frame)
         return frame
 
     def pop_ready(self, now: float) -> list[BufferedFrame]:
-        ready = [f for f in self.released if f.release_time <= now and f not in ()]
+        """Drain frames released by ``now`` exactly once.
+
+        Matches :meth:`JitterBuffer.pop_ready` semantics: each frame is
+        returned by exactly one call (release time == arrival time, so a
+        frame becomes ready the instant it is pushed).  ``released`` keeps
+        the full delivery history for the equivalence benchmark.
+        """
+        ready = [f for f in self._pending if f.release_time <= now]
+        self._pending = [f for f in self._pending if f.release_time > now]
         return ready
 
     def added_latency(self) -> float:

@@ -1,0 +1,425 @@
+"""Scenario corpus: parameterized network-condition families for sweep grids.
+
+The paper evaluates at one operating point (10 Mbps, Bernoulli loss); the
+ROADMAP asks for larger trace corpora so every experiment can be judged
+across the conditions a deployed AI-video-chat uplink actually sees.  This
+module provides named **generator families** — LTE-style drive traces,
+Wi-Fi step drops, periodic congestion sawtooths, bursty Gilbert-Elliott
+grids, lossy-uplink ladders, handover outages, contention on/off links,
+clean baselines and degrading ramps — each deterministic under a seed and
+each yielding plain-data :class:`~repro.analysis.sweeps.Scenario` objects
+that ``SweepRunner`` accepts directly.
+
+Randomised families derive their generator from ``(family, seed, variant)``
+via SHA-256, so ``corpus(seed=k)`` is bit-identical across runs, machines
+and process pools, and every variant is independent of how many variants
+the other families produce.
+
+The :class:`Scenario` import is deferred to call time: ``repro.net`` stays
+importable without ``repro.analysis`` (which itself imports ``repro.net``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Optional, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..analysis.sweeps import Scenario
+
+__all__ = [
+    "corpus",
+    "family_scenarios",
+    "list_families",
+    "scenario_family",
+]
+
+#: Registry of family name -> generator ``fn(seed, overrides) -> list[Scenario]``.
+_FAMILIES: dict[str, Callable[..., "list[Scenario]"]] = {}
+
+
+def scenario_family(name: str) -> Callable[[Callable[..., "list[Scenario]"]], Callable[..., "list[Scenario]"]]:
+    """Register a generator family under ``name`` (decorator)."""
+
+    def register(fn: Callable[..., "list[Scenario]"]) -> Callable[..., "list[Scenario]"]:
+        if name in _FAMILIES:
+            raise ValueError(f"scenario family {name!r} already registered")
+        _FAMILIES[name] = fn
+        return fn
+
+    return register
+
+
+def list_families() -> list[str]:
+    """Names of all registered scenario families."""
+    return sorted(_FAMILIES)
+
+
+def family_scenarios(
+    name: str,
+    seed: int = 0,
+    overrides: Optional[Mapping[str, Any]] = None,
+) -> "list[Scenario]":
+    """Generate one named family's scenarios for ``seed``."""
+    try:
+        fn = _FAMILIES[name]
+    except KeyError:
+        known = ", ".join(list_families())
+        raise ValueError(f"unknown scenario family {name!r}; known families: {known}") from None
+    return fn(seed=seed, overrides=overrides)
+
+
+def corpus(
+    seed: int = 0,
+    families: Optional[Sequence[str]] = None,
+    overrides: Optional[Mapping[str, Any]] = None,
+) -> "list[Scenario]":
+    """The full scenario corpus (or a subset of ``families``) for ``seed``.
+
+    ``overrides`` (runner keyword arguments — duration, resolution, ...) are
+    merged into every generated scenario, so one call can scale the whole
+    corpus down to smoke-test cost.  Scenario names are unique across the
+    corpus and stable across seeds; the scenario *contents* of randomised
+    families change with the seed.
+    """
+    names = list_families() if families is None else list(families)
+    scenarios: "list[Scenario]" = []
+    for name in names:
+        scenarios.extend(family_scenarios(name, seed=seed, overrides=overrides))
+    return scenarios
+
+
+# ---------------------------------------------------------------------------
+# Internals
+# ---------------------------------------------------------------------------
+
+
+def _rng(family: str, seed: int, variant: int) -> np.random.Generator:
+    """Deterministic generator derived from the (family, seed, variant) coordinates."""
+    digest = hashlib.sha256(f"{family}|{seed}|{variant}".encode()).digest()
+    return np.random.default_rng(int.from_bytes(digest[:8], "big"))
+
+
+def _scenario(
+    name: str,
+    loss_model: Optional[dict] = None,
+    bandwidth_trace: Optional[dict] = None,
+    overrides: Optional[Mapping[str, Any]] = None,
+) -> "Scenario":
+    from ..analysis.sweeps import Scenario
+
+    return Scenario(
+        name=name,
+        loss_model=loss_model,
+        bandwidth_trace=bandwidth_trace,
+        overrides=dict(overrides or {}),
+    )
+
+
+def _trace(times: Sequence[float], rates_bps: Sequence[float]) -> dict:
+    return {"times": [float(t) for t in times], "rates_bps": [float(r) for r in rates_bps]}
+
+
+def _bernoulli(loss_rate: float) -> dict:
+    return {"kind": "bernoulli", "loss_rate": float(loss_rate)}
+
+
+def _gilbert_elliott(p_good_to_bad: float, p_bad_to_good: float, loss_in_bad: float) -> dict:
+    return {
+        "kind": "gilbert_elliott",
+        "p_good_to_bad": float(p_good_to_bad),
+        "p_bad_to_good": float(p_bad_to_good),
+        "loss_in_bad": float(loss_in_bad),
+        "loss_in_good": 0.0,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Families
+# ---------------------------------------------------------------------------
+
+
+@scenario_family("lte_drive")
+def lte_drive(
+    seed: int = 0,
+    variants: int = 3,
+    horizon_s: float = 20.0,
+    step_s: float = 1.0,
+    start_rate_bps: float = 6e6,
+    min_rate_bps: float = 0.8e6,
+    max_rate_bps: float = 12e6,
+    loss_rate: float = 0.005,
+    overrides: Optional[Mapping[str, Any]] = None,
+) -> "list[Scenario]":
+    """LTE-style drive traces: a bounded random walk in log-rate space.
+
+    Mimics the rate dynamics of cellular drive-test traces (Mahimahi-style):
+    the link rate multiplies by a log-normal step each second, clamped to a
+    plausible LTE band.
+    """
+    scenarios = []
+    for variant in range(variants):
+        rng = _rng("lte_drive", seed, variant)
+        steps = max(2, int(round(horizon_s / step_s)))
+        rate = float(start_rate_bps)
+        times, rates = [], []
+        for index in range(steps):
+            times.append(index * step_s)
+            rates.append(rate)
+            rate = float(np.clip(rate * 2.0 ** rng.normal(0.0, 0.35), min_rate_bps, max_rate_bps))
+        scenarios.append(
+            _scenario(
+                f"lte-drive-{variant}",
+                loss_model=_bernoulli(loss_rate),
+                bandwidth_trace=_trace(times, rates),
+                overrides=overrides,
+            )
+        )
+    return scenarios
+
+
+@scenario_family("wifi_step_drop")
+def wifi_step_drop(
+    seed: int = 0,
+    variants: int = 3,
+    horizon_s: float = 20.0,
+    high_rate_bps: float = 20e6,
+    loss_rate: float = 0.002,
+    overrides: Optional[Mapping[str, Any]] = None,
+) -> "list[Scenario]":
+    """Wi-Fi rate-step drops: the link falls off a cliff, then recovers.
+
+    Models an 802.11 station renegotiating its MCS after interference: a
+    sharp drop to a seeded fraction of the rate at a seeded instant, holding
+    for a seeded dwell before snapping back.
+    """
+    scenarios = []
+    for variant in range(variants):
+        rng = _rng("wifi_step_drop", seed, variant)
+        drop_at = float(rng.uniform(0.15, 0.4)) * horizon_s
+        dwell = float(rng.uniform(0.2, 0.35)) * horizon_s
+        floor = high_rate_bps * float(rng.uniform(0.05, 0.25))
+        scenarios.append(
+            _scenario(
+                f"wifi-step-{variant}",
+                loss_model=_bernoulli(loss_rate),
+                bandwidth_trace=_trace(
+                    [0.0, drop_at, drop_at + dwell],
+                    [high_rate_bps, floor, high_rate_bps],
+                ),
+                overrides=overrides,
+            )
+        )
+    return scenarios
+
+
+@scenario_family("congestion_sawtooth")
+def congestion_sawtooth(
+    seed: int = 0,
+    variants: int = 2,
+    horizon_s: float = 20.0,
+    period_s: float = 5.0,
+    ramp_steps: int = 4,
+    peak_rate_bps: float = 10e6,
+    loss_rate: float = 0.01,
+    overrides: Optional[Mapping[str, Any]] = None,
+) -> "list[Scenario]":
+    """Periodic congestion sawtooths: available rate decays, then resets.
+
+    A piecewise-constant approximation of a competing AIMD flow periodically
+    eating the bottleneck: within each period the rate steps down linearly to
+    a seeded trough, then the competitor backs off and the rate resets.
+    """
+    scenarios = []
+    for variant in range(variants):
+        rng = _rng("congestion_sawtooth", seed, variant)
+        trough = peak_rate_bps * float(rng.uniform(0.2, 0.45))
+        periods = max(1, int(round(horizon_s / period_s)))
+        times, rates = [], []
+        for period in range(periods):
+            base = period * period_s
+            for step in range(ramp_steps):
+                fraction = step / max(ramp_steps - 1, 1)
+                times.append(base + period_s * step / ramp_steps)
+                rates.append(peak_rate_bps - fraction * (peak_rate_bps - trough))
+        scenarios.append(
+            _scenario(
+                f"sawtooth-{variant}",
+                loss_model=_bernoulli(loss_rate),
+                bandwidth_trace=_trace(times, rates),
+                overrides=overrides,
+            )
+        )
+    return scenarios
+
+
+@scenario_family("bursty_ge_grid")
+def bursty_ge_grid(
+    seed: int = 0,
+    points: Sequence[tuple[float, float]] = ((0.01, 0.3), (0.03, 0.5), (0.1, 0.7)),
+    p_bad_to_good: float = 0.3,
+    overrides: Optional[Mapping[str, Any]] = None,
+) -> "list[Scenario]":
+    """A grid of Gilbert-Elliott burstiness × loss-in-bad operating points.
+
+    Deterministic by construction (the grid is fixed); ``seed`` is accepted
+    for API uniformity with the randomised families.
+    """
+    del seed  # fixed grid: identical for every seed
+    scenarios = []
+    for p_good_to_bad, loss_in_bad in points:
+        scenarios.append(
+            _scenario(
+                f"ge-burst-p{p_good_to_bad:g}-l{loss_in_bad:g}",
+                loss_model=_gilbert_elliott(p_good_to_bad, p_bad_to_good, loss_in_bad),
+                overrides=overrides,
+            )
+        )
+    return scenarios
+
+
+@scenario_family("loss_ladder")
+def loss_ladder(
+    seed: int = 0,
+    loss_rates: Sequence[float] = (0.01, 0.02, 0.05, 0.1, 0.2),
+    overrides: Optional[Mapping[str, Any]] = None,
+) -> "list[Scenario]":
+    """A lossy-uplink ladder: i.i.d. loss swept across rungs (paper Figure 3)."""
+    del seed  # fixed ladder: identical for every seed
+    return [
+        _scenario(
+            f"loss-ladder-{rate * 100:g}pct",
+            loss_model=_bernoulli(rate),
+            overrides=overrides,
+        )
+        for rate in loss_rates
+    ]
+
+
+@scenario_family("handover_outage")
+def handover_outage(
+    seed: int = 0,
+    variants: int = 2,
+    horizon_s: float = 20.0,
+    nominal_rate_bps: float = 8e6,
+    outage_rate_bps: float = 64e3,
+    overrides: Optional[Mapping[str, Any]] = None,
+) -> "list[Scenario]":
+    """Cellular handover: brief near-outages at seeded instants.
+
+    The link collapses to a trickle for a seeded sub-second window (the
+    make-before-break gap of an LTE/5G handover), once in the first half and
+    once in the second half of the horizon.
+    """
+    scenarios = []
+    for variant in range(variants):
+        rng = _rng("handover_outage", seed, variant)
+        first = float(rng.uniform(0.1, 0.4)) * horizon_s
+        gap = float(rng.uniform(0.3, 0.9))
+        # Keep the trace's breakpoints ordered even on short horizons: the
+        # second outage must start after the first one has healed.
+        second = max(float(rng.uniform(0.55, 0.85)) * horizon_s, first + gap + 0.1)
+        times, rates = [0.0], [nominal_rate_bps]
+        for start in (first, second):
+            times.extend([start, start + gap])
+            rates.extend([outage_rate_bps, nominal_rate_bps])
+        scenarios.append(
+            _scenario(
+                f"handover-{variant}",
+                loss_model=_bernoulli(0.003),
+                bandwidth_trace=_trace(times, rates),
+                overrides=overrides,
+            )
+        )
+    return scenarios
+
+
+@scenario_family("wifi_contention")
+def wifi_contention(
+    seed: int = 0,
+    variants: int = 2,
+    horizon_s: float = 20.0,
+    free_rate_bps: float = 15e6,
+    contended_rate_bps: float = 3e6,
+    mean_dwell_s: float = 2.0,
+    overrides: Optional[Mapping[str, Any]] = None,
+) -> "list[Scenario]":
+    """Wi-Fi contention on/off: the channel alternates free and contended.
+
+    Dwell times in each state are exponential with a seeded mean, modelling a
+    neighbour's bursty traffic grabbing airtime; mild bursty loss rides along
+    (collisions cluster).
+    """
+    scenarios = []
+    for variant in range(variants):
+        rng = _rng("wifi_contention", seed, variant)
+        times, rates = [], []
+        at, contended = 0.0, False
+        while at < horizon_s:
+            times.append(at)
+            rates.append(contended_rate_bps if contended else free_rate_bps)
+            at += max(0.25, float(rng.exponential(mean_dwell_s)))
+            contended = not contended
+        scenarios.append(
+            _scenario(
+                f"wifi-contention-{variant}",
+                loss_model=_gilbert_elliott(0.01, 0.4, 0.3),
+                bandwidth_trace=_trace(times, rates),
+                overrides=overrides,
+            )
+        )
+    return scenarios
+
+
+@scenario_family("steady_baseline")
+def steady_baseline(
+    seed: int = 0,
+    rates_bps: Sequence[float] = (2e6, 10e6),
+    overrides: Optional[Mapping[str, Any]] = None,
+) -> "list[Scenario]":
+    """Clean constant-rate, lossless links: the control group of the corpus."""
+    del seed  # fixed baselines: identical for every seed
+    return [
+        _scenario(
+            f"steady-{rate / 1e6:g}mbps",
+            loss_model=_bernoulli(0.0),
+            bandwidth_trace=_trace([0.0], [rate]),
+            overrides=overrides,
+        )
+        for rate in rates_bps
+    ]
+
+
+@scenario_family("degrading_ramp")
+def degrading_ramp(
+    seed: int = 0,
+    variants: int = 2,
+    horizon_s: float = 20.0,
+    start_rate_bps: float = 12e6,
+    steps: int = 8,
+    loss_rate: float = 0.01,
+    overrides: Optional[Mapping[str, Any]] = None,
+) -> "list[Scenario]":
+    """Monotone degradation: the link ramps down to a seeded floor and stays.
+
+    Stresses rate adaptation the way walking out of coverage does — there is
+    no recovery within the horizon.
+    """
+    scenarios = []
+    for variant in range(variants):
+        rng = _rng("degrading_ramp", seed, variant)
+        floor = start_rate_bps * float(rng.uniform(0.05, 0.2))
+        times = [index * horizon_s / steps for index in range(steps)]
+        fractions = np.linspace(0.0, 1.0, steps)
+        rates = [start_rate_bps - f * (start_rate_bps - floor) for f in fractions]
+        scenarios.append(
+            _scenario(
+                f"degrading-ramp-{variant}",
+                loss_model=_bernoulli(loss_rate),
+                bandwidth_trace=_trace(times, rates),
+                overrides=overrides,
+            )
+        )
+    return scenarios

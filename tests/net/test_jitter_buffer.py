@@ -1,0 +1,208 @@
+"""Regression tests for the jitter buffer's playout clock and release logic.
+
+Three bugs these tests pin down (all fixed):
+
+1. ``JitterBuffer.push`` anchored the playback clock to the *current*
+   frame's transit, degenerating every release to ``arrival + delay`` — a
+   constant hold instead of a reconstructed playout clock.
+2. ``JitterBuffer.pop_ready`` drained a FIFO deque, head-of-line blocking a
+   ready frame behind a not-yet-ready one that arrived earlier.
+3. ``PassthroughBuffer.pop_ready`` returned every released frame on every
+   call — duplicates forever.
+"""
+
+import numpy as np
+import pytest
+
+from repro.net.jitter_buffer import (
+    JitterBuffer,
+    JitterBufferConfig,
+    PassthroughBuffer,
+    frames_in_capture_order,
+)
+
+
+class TestPlayoutClockAnchoring:
+    def test_early_frame_held_for_full_playout_delay(self):
+        """A frame at the minimum transit is held exactly the playout delay."""
+        buffer = JitterBuffer(JitterBufferConfig(initial_delay_s=0.1))
+        frame = buffer.push(0, capture_time=0.0, arrival_time=0.04)
+        assert frame.release_time == pytest.approx(frame.arrival_time + 0.1)
+
+    def test_late_frame_is_not_double_delayed(self):
+        """A frame whose jitter already exceeds the delay releases on arrival.
+
+        The old code anchored to the frame's own transit, so *every* frame —
+        however late — was held the full playout delay on top of the jitter
+        it had already suffered.
+        """
+        buffer = JitterBuffer(JitterBufferConfig(initial_delay_s=0.05))
+        buffer.push(0, capture_time=0.0, arrival_time=0.03)  # establishes min transit
+        late = buffer.push(1, capture_time=1 / 30, arrival_time=1 / 30 + 0.03 + 0.3)
+        assert late.release_time == pytest.approx(late.arrival_time)
+
+    def test_hold_shrinks_with_lateness(self):
+        """The playback clock absorbs jitter: later frames are held less."""
+        buffer = JitterBuffer(JitterBufferConfig(initial_delay_s=0.2, smoothing=0.0))
+        buffer.push(0, capture_time=0.0, arrival_time=0.03)
+        slightly_late = buffer.push(1, capture_time=0.1, arrival_time=0.1 + 0.03 + 0.05)
+        very_late = buffer.push(2, capture_time=0.2, arrival_time=0.2 + 0.03 + 0.15)
+        hold = lambda f: f.release_time - f.arrival_time
+        assert hold(slightly_late) == pytest.approx(0.15)
+        assert hold(very_late) == pytest.approx(0.05)
+        assert hold(very_late) < hold(slightly_late)
+
+    def test_not_a_constant_hold(self):
+        """Regression: holds must vary with transit, not be one constant."""
+        buffer = JitterBuffer(JitterBufferConfig(initial_delay_s=0.1))
+        rng = np.random.default_rng(0)
+        holds = []
+        for i in range(50):
+            capture = i / 30
+            arrival = capture + 0.03 + float(rng.uniform(0, 0.08))
+            frame = buffer.push(i, capture, arrival)
+            holds.append(round(frame.release_time - frame.arrival_time, 9))
+        assert len(set(holds)) > 1
+
+    def test_mean_added_latency_below_playout_delay_under_jitter(self):
+        """Jittered frames consume part of their hold in flight."""
+        buffer = JitterBuffer(JitterBufferConfig(initial_delay_s=0.1))
+        rng = np.random.default_rng(3)
+        for i in range(200):
+            capture = i / 30
+            buffer.push(i, capture, capture + 0.03 + float(rng.uniform(0, 0.12)))
+        buffer.pop_ready(now=1e9)
+        assert 0.0 < buffer.added_latency() < buffer.playout_delay_s
+
+
+class TestAdaptiveDelayConvergence:
+    def test_delay_converges_under_constant_magnitude_jitter(self):
+        """Alternating ±j/2 transit -> estimate -> j, delay -> initial + 4j."""
+        config = JitterBufferConfig(initial_delay_s=0.05, jitter_multiplier=4.0, smoothing=0.1)
+        buffer = JitterBuffer(config)
+        jitter = 0.01
+        for i in range(400):
+            capture = i / 30
+            transit = 0.03 + (jitter if i % 2 == 0 else 0.0)
+            buffer.push(i, capture, capture + transit)
+        assert buffer.jitter_estimate_s == pytest.approx(jitter, rel=0.05)
+        assert buffer.playout_delay_s == pytest.approx(
+            config.initial_delay_s + config.jitter_multiplier * jitter, rel=0.05
+        )
+
+    def test_delay_clamped_to_configured_range(self):
+        config = JitterBufferConfig(initial_delay_s=0.05, max_delay_s=0.08)
+        buffer = JitterBuffer(config)
+        rng = np.random.default_rng(1)
+        for i in range(100):
+            capture = i / 30
+            buffer.push(i, capture, capture + 0.03 + float(rng.uniform(0, 0.3)))
+        assert buffer.playout_delay_s <= config.max_delay_s
+
+
+class TestReleaseOrdering:
+    def _buffer_with_inverted_releases(self):
+        """Push A then B such that B's release precedes A's (jitter case)."""
+        buffer = JitterBuffer(JitterBufferConfig(initial_delay_s=0.2, smoothing=0.0))
+        buffer.push(0, capture_time=0.0, arrival_time=0.03)  # min transit anchor
+        held = buffer.push(1, capture_time=1.0, arrival_time=1.03)  # held 0.2
+        reordered = buffer.push(2, capture_time=0.9, arrival_time=1.031)  # clock 1.13
+        assert reordered.release_time < held.release_time
+        return buffer, held, reordered
+
+    def test_ready_frame_not_blocked_by_unready_earlier_arrival(self):
+        """Regression: the FIFO deque released [] here — head-of-line block."""
+        buffer, held, reordered = self._buffer_with_inverted_releases()
+        buffer.pop_ready(now=0.5)  # drain the anchor frame
+        ready = buffer.pop_ready(now=(reordered.release_time + held.release_time) / 2)
+        assert [frame.frame_id for frame in ready] == [2]
+        assert [f.frame_id for f in buffer.pop_ready(now=held.release_time)] == [1]
+        assert buffer.depth == 0
+
+    def test_pop_ready_returns_release_time_order(self):
+        buffer = JitterBuffer(JitterBufferConfig(initial_delay_s=0.15))
+        rng = np.random.default_rng(7)
+        for i in range(100):
+            capture = i / 30
+            buffer.push(i, capture, capture + 0.03 + float(rng.uniform(0, 0.1)))
+        released = buffer.pop_ready(now=1e9)
+        times = [frame.release_time for frame in released]
+        assert times == sorted(times)
+        assert len(released) == 100
+
+    def test_depth_tracks_queue(self):
+        buffer = JitterBuffer()
+        buffer.push(0, 0.0, 0.03)
+        buffer.push(1, 1 / 30, 1 / 30 + 0.03)
+        assert buffer.depth == 2
+        buffer.pop_ready(now=1e9)
+        assert buffer.depth == 0
+
+
+class TestPassthroughSingleDrain:
+    def test_each_frame_drained_exactly_once(self):
+        """Regression: every call used to return every frame again."""
+        buffer = PassthroughBuffer()
+        for i in range(5):
+            buffer.push(i, i / 30, i / 30 + 0.02)
+        first = buffer.pop_ready(now=1.0)
+        assert [frame.frame_id for frame in first] == [0, 1, 2, 3, 4]
+        assert buffer.pop_ready(now=2.0) == []
+        assert buffer.pop_ready(now=3.0) == []
+
+    def test_drain_respects_now(self):
+        buffer = PassthroughBuffer()
+        buffer.push(0, 0.0, 0.5)
+        assert buffer.pop_ready(now=0.1) == []
+        assert [f.frame_id for f in buffer.pop_ready(now=1.0)] == [0]
+
+    def test_incremental_drain_partitions_frames(self):
+        buffer = PassthroughBuffer()
+        early = buffer.push(0, 0.0, 0.1)
+        late = buffer.push(1, 0.05, 0.9)
+        assert buffer.pop_ready(now=0.5) == [early]
+        assert buffer.pop_ready(now=1.0) == [late]
+
+    def test_released_history_retained_for_benchmark(self):
+        buffer = PassthroughBuffer()
+        for i in range(3):
+            buffer.push(i, i / 30, i / 30 + 0.02)
+        buffer.pop_ready(now=1.0)
+        assert [frame.frame_id for frame in buffer.released] == [0, 1, 2]
+        assert buffer.added_latency() == 0.0
+
+
+class TestCaptureOrderEquivalence:
+    """Section 2.1: sorting by capture time makes the MLLM input jitter-invariant."""
+
+    def test_passthrough_vs_jitter_buffer_same_mllm_input(self):
+        rng = np.random.default_rng(11)
+        captures = [i / 30 for i in range(60)]
+        arrivals = [c + 0.03 + float(rng.uniform(0, 0.07)) for c in captures]
+        passthrough = PassthroughBuffer()
+        buffered = JitterBuffer()
+        for i, (capture, arrival) in enumerate(zip(captures, arrivals)):
+            passthrough.push(i, capture, arrival)
+            buffered.push(i, capture, arrival)
+        direct = passthrough.pop_ready(now=1e9)
+        held = buffered.pop_ready(now=1e9)
+        assert [f.frame_id for f in frames_in_capture_order(direct)] == [
+            f.frame_id for f in frames_in_capture_order(held)
+        ]
+
+    def test_arrival_reordering_does_not_change_capture_order(self):
+        rng = np.random.default_rng(13)
+        captures = [i / 30 for i in range(50)]
+        smooth = PassthroughBuffer()
+        jittered = PassthroughBuffer()
+        # Push the jittered frames in (shuffled) arrival order: reordering on
+        # the wire must not leak into the model input either.
+        order = rng.permutation(len(captures))
+        for i, capture in enumerate(captures):
+            smooth.push(i, capture, capture + 0.03)
+        for i in order:
+            capture = captures[i]
+            jittered.push(int(i), capture, capture + 0.03 + float(rng.uniform(0, 0.05)))
+        smooth_ids = [f.frame_id for f in frames_in_capture_order(smooth.pop_ready(1e9))]
+        jitter_ids = [f.frame_id for f in frames_in_capture_order(jittered.pop_ready(1e9))]
+        assert smooth_ids == jitter_ids

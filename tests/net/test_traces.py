@@ -1,0 +1,106 @@
+"""Tests for the scenario corpus (repro.net.traces)."""
+
+import pytest
+
+from repro.analysis.sweeps import Scenario, SweepGrid, SweepRunner, corpus_scenarios
+from repro.net.emulator import (
+    BandwidthTrace,
+    LossModel,
+    bandwidth_trace_from_spec,
+    loss_model_from_spec,
+)
+from repro.net.traces import corpus, family_scenarios, list_families
+
+
+class TestFamilies:
+    def test_at_least_eight_named_families(self):
+        families = list_families()
+        assert len(families) >= 8
+        for expected in (
+            "lte_drive",
+            "wifi_step_drop",
+            "congestion_sawtooth",
+            "bursty_ge_grid",
+            "loss_ladder",
+            "handover_outage",
+        ):
+            assert expected in families
+
+    def test_unknown_family_raises_with_known_names(self):
+        with pytest.raises(ValueError, match="lte_drive"):
+            family_scenarios("no_such_family")
+
+    def test_family_subset_selection(self):
+        scenarios = corpus(families=["lte_drive", "loss_ladder"])
+        assert all(
+            s.name.startswith(("lte-drive", "loss-ladder")) for s in scenarios
+        )
+        assert any(s.name.startswith("lte-drive") for s in scenarios)
+        assert any(s.name.startswith("loss-ladder") for s in scenarios)
+
+
+class TestDeterminism:
+    def test_same_seed_same_corpus(self):
+        assert corpus(seed=5) == corpus(seed=5)
+
+    def test_seed_changes_randomised_families(self):
+        a = {s.name: s for s in corpus(seed=0)}
+        b = {s.name: s for s in corpus(seed=1)}
+        assert a.keys() == b.keys()  # names are seed-stable
+        assert any(a[name] != b[name] for name in a)  # contents are not
+
+    def test_fixed_grids_are_seed_invariant(self):
+        for family in ("bursty_ge_grid", "loss_ladder", "steady_baseline"):
+            assert family_scenarios(family, seed=0) == family_scenarios(family, seed=9)
+
+
+class TestScenarioValidity:
+    def test_names_unique_across_corpus(self):
+        names = [s.name for s in corpus(seed=2)]
+        assert len(names) == len(set(names))
+
+    @pytest.mark.parametrize("seed", [0, 1, 17])
+    def test_every_spec_rebuilds_into_live_objects(self, seed):
+        for scenario in corpus(seed=seed):
+            assert isinstance(scenario, Scenario)
+            model = loss_model_from_spec(scenario.loss_model)
+            assert isinstance(model, LossModel)
+            trace = bandwidth_trace_from_spec(scenario.bandwidth_trace)
+            if scenario.bandwidth_trace is not None:
+                # BandwidthTrace validates ordering/positivity on build.
+                assert isinstance(trace, BandwidthTrace)
+                assert trace.mean_rate_bps > 0
+
+    def test_overrides_merge_into_every_scenario(self):
+        scenarios = corpus(seed=0, overrides={"duration_s": 2.0, "height": 120})
+        assert scenarios
+        for scenario in scenarios:
+            assert scenario.overrides["duration_s"] == 2.0
+            assert scenario.overrides["height"] == 120
+
+    def test_corpus_scenarios_wrapper_passes_overrides(self):
+        scenarios = corpus_scenarios(seed=1, families=["loss_ladder"], duration_s=3.0)
+        assert scenarios == corpus(
+            seed=1, families=["loss_ladder"], overrides={"duration_s": 3.0}
+        )
+
+
+class TestSweepIntegration:
+    def test_sweep_runner_accepts_corpus_scenarios(self, tmp_path):
+        scenarios = tuple(corpus(seed=0, families=["lte_drive", "bursty_ge_grid"]))[:2]
+        grid = SweepGrid(
+            experiments=("section1_latency_budget",),
+            scenarios=scenarios,
+            seeds=(0,),
+        )
+        report = SweepRunner(results_dir=tmp_path, processes=1).run(grid)
+        assert report.executed == 2
+        for cell in report.cells:
+            assert cell.path.exists()
+
+    def test_runner_kwargs_build_live_objects(self):
+        scenario = corpus(seed=0, families=["lte_drive"])[0]
+        kwargs = scenario.runner_kwargs(seed=7)
+        assert isinstance(kwargs["loss_model"], LossModel)
+        assert isinstance(kwargs["bandwidth_trace"], BandwidthTrace)
+        assert kwargs["seed"] == 7
