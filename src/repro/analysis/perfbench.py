@@ -1,0 +1,473 @@
+"""Persistent performance benchmark harness for the simulation fast path.
+
+The ROADMAP's north star is a reproduction that runs "as fast as the
+hardware allows"; this module makes that measurable.  It times canonical
+workloads twice — once with the vectorized fast path enabled (the default)
+and once in scalar reference mode (``REPRO_NET_FASTPATH=0``: per-packet RNG
+draws and linear-scan trace lookups, the pre-fast-path algorithms) — and
+emits a machine-readable ``BENCH_sweep.json`` so subsequent PRs inherit a
+perf trajectory instead of a blank slate.
+
+Workloads:
+
+* ``single_session_*`` — one 10 s fixed-bitrate transport session per loss
+  model (clean link, i.i.d. Bernoulli, bursty Gilbert-Elliott), plus the
+  headline ``single_session_dense_trace`` run over a 1 ms-granularity
+  bandwidth trace (the resolution of standard cellular trace corpora) with
+  bursty loss — the workload the ≥2× acceptance target is measured on.
+* ``smoke_sweep`` — an 18-cell ``figure3_latency`` sweep (3 scenarios × 6
+  seeds) through the multiprocessing pool with the cell cache disabled, the
+  workload the ≥3× target is measured on.
+* ``fec_codec`` — FEC encode/decode over thousands of frames (allocation-
+  and bookkeeping-bound; reported for trajectory, no gate).
+
+Before timing anything the harness asserts statistical equivalence between
+the scalar and vectorized paths: identical seeds must produce identical
+drop sequences (Bernoulli and Gilbert-Elliott), identical ``rate_at``
+lookups, and identical end-to-end session statistics.  A speedup claimed
+over a baseline that computes something different would be meaningless.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterator, Optional
+
+import numpy as np
+
+from ..net.emulator import (
+    FASTPATH_ENV,
+    BandwidthTrace,
+    BernoulliLoss,
+    GilbertElliottLoss,
+    LossModel,
+    PathConfig,
+)
+from ..net.fec import FecConfig, FecDecoder, FecEncoder
+from ..net.packet import FrameAssembler, Packetizer
+from ..net.transport import run_fixed_bitrate_session
+
+#: Schema identifier stamped into the emitted JSON.
+BENCH_SCHEMA = "repro-perfbench-v1"
+
+#: Default output filename, resolved against the CWD (run the harness from
+#: the repo root to refresh the committed snapshot).
+DEFAULT_BENCH_PATH = "BENCH_sweep.json"
+
+#: Acceptance targets (speedup = scalar time / fast time).
+SPEEDUP_TARGETS = {
+    "smoke_sweep": 3.0,
+    "single_session_dense_trace": 2.0,
+}
+
+
+@contextmanager
+def fastpath_mode(enabled: bool) -> Iterator[None]:
+    """Force the fast path on or off for objects constructed in the block.
+
+    The flag is read at construction time and inherited by pool workers
+    through the environment, so wrapping a whole workload (construction
+    included) switches every path and trace it builds.
+    """
+    previous = os.environ.get(FASTPATH_ENV)
+    os.environ[FASTPATH_ENV] = "1" if enabled else "0"
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(FASTPATH_ENV, None)
+        else:
+            os.environ[FASTPATH_ENV] = previous
+
+
+# ---------------------------------------------------------------------------
+# Canonical workload inputs
+# ---------------------------------------------------------------------------
+
+
+def dense_trace(duration_s: float, granularity_s: float = 0.001) -> BandwidthTrace:
+    """A sinusoidal bandwidth trace sampled every ``granularity_s`` seconds.
+
+    Cellular trace corpora (Mahimahi and friends) record capacity at
+    millisecond granularity; 1 ms over a 10 s session is ~10000 breakpoints,
+    which is where the old O(breakpoints) ``rate_at`` scan became the
+    dominant cost of a session.
+    """
+    steps = max(2, int(round(duration_s / granularity_s)))
+    times = np.linspace(0.0, duration_s, steps)
+    rates = 6e6 + 2e6 * np.sin(np.linspace(0.0, 4.0 * np.pi, steps))
+    return BandwidthTrace(times=times.tolist(), rates_bps=rates.tolist())
+
+
+def _session_loss_models() -> dict[str, Optional[LossModel]]:
+    return {
+        "clean": None,
+        "bernoulli": BernoulliLoss(0.02),
+        "gilbert_elliott": GilbertElliottLoss(
+            p_good_to_bad=0.02, p_bad_to_good=0.3, loss_in_bad=0.5
+        ),
+    }
+
+
+def _run_session(
+    duration_s: float,
+    loss_model: Optional[LossModel],
+    trace: Optional[BandwidthTrace],
+    seed: int = 5,
+) -> tuple[int, int, float, float, float]:
+    """One fixed-bitrate session; returns a stats tuple for equivalence checks."""
+    config = PathConfig(
+        loss_model=loss_model if loss_model is not None else BernoulliLoss(0.0),
+        bandwidth_trace=trace,
+        seed=seed,
+    )
+    stats = run_fixed_bitrate_session(6e6, duration_s, uplink_config=config)
+    summary = stats.summary()
+    return (
+        summary.count,
+        summary.delivered,
+        summary.mean_s,
+        summary.p99_s,
+        summary.mean_retransmissions,
+    )
+
+
+def _run_smoke_sweep(results_dir: Path, duration_s: float, processes: Optional[int]) -> int:
+    """The 18-cell benchmark sweep; returns the number of executed cells."""
+    from .sweeps import Scenario, SweepGrid, SweepRunner
+
+    # Every scenario rides the same millisecond-granularity bandwidth trace
+    # (the realistic link model the scenario corpus exists for) under a
+    # different loss process, so each cell exercises the full hot path:
+    # per-packet drop decisions plus per-packet rate lookups.
+    overrides = {"duration_s": duration_s, "height": 160, "width": 288}
+    trace = dense_trace(duration_s)
+    trace_spec = {"times": list(trace.times), "rates_bps": list(trace.rates_bps)}
+    scenarios = (
+        Scenario(
+            name="bench-trace-clean",
+            loss_model={"kind": "bernoulli", "loss_rate": 0.0},
+            bandwidth_trace=trace_spec,
+            overrides=overrides,
+        ),
+        Scenario(
+            name="bench-trace-iid",
+            loss_model={"kind": "bernoulli", "loss_rate": 0.02},
+            bandwidth_trace=trace_spec,
+            overrides=overrides,
+        ),
+        Scenario(
+            name="bench-trace-bursty",
+            loss_model={
+                "kind": "gilbert_elliott",
+                "p_good_to_bad": 0.03,
+                "p_bad_to_good": 0.3,
+                "loss_in_bad": 0.5,
+            },
+            bandwidth_trace=trace_spec,
+            overrides=overrides,
+        ),
+    )
+    grid = SweepGrid(
+        experiments=("figure3_latency",),
+        scenarios=scenarios,
+        seeds=(0, 1, 2, 3, 4, 5),
+    )
+    report = SweepRunner(results_dir=results_dir, processes=processes, use_cache=False).run(grid)
+    return len(report.cells)
+
+
+def _run_fec_codec(frames: int) -> tuple[int, int]:
+    """FEC encode/decode at scale; returns (parity packets, recovered packets)."""
+    packetizer = Packetizer()
+    encoder = FecEncoder(FecConfig(group_size=5))
+    decoder = FecDecoder(FecConfig(group_size=5))
+    assembler = FrameAssembler()
+    parity_count = 0
+    now = 0.0
+    for frame_id in range(frames):
+        now = frame_id / 30.0
+        packets = packetizer.packetize(frame_id, 28_000, now)
+        parity = encoder.protect(packets, packetizer)
+        parity_count += len(parity)
+        for packet in packets:
+            # Deterministically drop one packet per frame so every frame
+            # exercises the recovery path.
+            if packet.index_in_frame == 3:
+                continue
+            decoder.on_data_packet(packet, assembler)
+            assembler.on_packet(packet, now)
+        for fec_packet in parity:
+            for recovered in decoder.on_fec_packet(fec_packet, assembler):
+                assembler.on_packet(recovered, now)
+    return parity_count, decoder.recovered_packets
+
+
+# ---------------------------------------------------------------------------
+# Equivalence checks
+# ---------------------------------------------------------------------------
+
+
+def _scalar_drop_sequence(model: LossModel, seed: int, n: int) -> list[bool]:
+    rng = np.random.default_rng(seed)
+    return [model.should_drop(rng) for _ in range(n)]
+
+
+def _block_drop_sequence(model: LossModel, seed: int, n: int, block: int) -> list[bool]:
+    rng = np.random.default_rng(seed)
+    out: list[bool] = []
+    while len(out) < n:
+        out.extend(bool(x) for x in model.sample_drops(rng, min(block, n - len(out))))
+    return out[:n]
+
+
+def equivalence_report(session_duration_s: float = 2.0) -> dict[str, bool]:
+    """Prove the scalar and vectorized paths compute the same thing.
+
+    Returns a dict of named boolean checks; ``run_benchmarks`` refuses to
+    report timings unless every check passes.
+    """
+    checks: dict[str, bool] = {}
+
+    checks["bernoulli_block_equals_scalar"] = all(
+        _scalar_drop_sequence(BernoulliLoss(rate), seed, 700)
+        == _block_drop_sequence(BernoulliLoss(rate), seed, 700, block)
+        for rate in (0.0, 0.02, 0.3)
+        for seed in (0, 7)
+        for block in (1, 64, 1024)
+    )
+
+    def ge() -> GilbertElliottLoss:
+        return GilbertElliottLoss(
+            p_good_to_bad=0.05, p_bad_to_good=0.25, loss_in_bad=0.6, loss_in_good=0.01
+        )
+
+    checks["gilbert_elliott_block_equals_scalar"] = all(
+        _scalar_drop_sequence(ge(), seed, 700) == _block_drop_sequence(ge(), seed, 700, block)
+        for seed in (0, 11)
+        for block in (1, 64, 1024)
+    )
+
+    rng = np.random.default_rng(0)
+    rate_at_ok = True
+    for _ in range(20):
+        count = int(rng.integers(1, 40))
+        times = np.sort(rng.uniform(0.0, 10.0, size=count)).tolist()
+        rates = rng.uniform(1e5, 1e7, size=count).tolist()
+        with fastpath_mode(True):
+            trace = BandwidthTrace(times=times, rates_bps=rates)
+        queries = rng.uniform(-1.0, 12.0, size=200).tolist() + times
+        rate_at_ok &= all(trace.rate_at(t) == trace.rate_at_scan(t) for t in queries)
+    checks["rate_at_equals_linear_scan"] = bool(rate_at_ok)
+
+    trace = dense_trace(session_duration_s)
+    spec = (trace.times, trace.rates_bps)
+    session_ok = True
+    for name, model in _session_loss_models().items():
+        with fastpath_mode(False):
+            scalar = _run_session(
+                session_duration_s,
+                _clone_model(model),
+                BandwidthTrace(times=spec[0], rates_bps=spec[1]),
+            )
+        with fastpath_mode(True):
+            fast = _run_session(
+                session_duration_s,
+                _clone_model(model),
+                BandwidthTrace(times=spec[0], rates_bps=spec[1]),
+            )
+        session_ok &= scalar == fast
+    checks["session_stats_identical"] = bool(session_ok)
+    return checks
+
+
+def _clone_model(model: Optional[LossModel]) -> Optional[LossModel]:
+    import copy
+
+    return copy.deepcopy(model)
+
+
+# ---------------------------------------------------------------------------
+# Timing
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BenchTiming:
+    """Before/after timing of one canonical workload."""
+
+    name: str
+    before_s: float
+    after_s: float
+    detail: dict = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        if self.after_s <= 0.0:
+            return float("inf")
+        return self.before_s / self.after_s
+
+    def to_jsonable(self) -> dict:
+        return {
+            "name": self.name,
+            "before_s": round(self.before_s, 6),
+            "after_s": round(self.after_s, 6),
+            "speedup": round(self.speedup, 3),
+            "detail": self.detail,
+        }
+
+
+def _time_workload(fn: Callable[[], Any], repeats: int) -> float:
+    """Best-of-``repeats`` wall time (min filters scheduler noise)."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def run_benchmarks(
+    smoke: bool = False,
+    repeats: Optional[int] = None,
+    results_dir: Optional[str | Path] = None,
+    processes: Optional[int] = None,
+) -> dict:
+    """Run the full harness and return the ``BENCH_sweep.json`` payload.
+
+    ``smoke`` shrinks every workload (2 s sessions, 1 repeat) so CI can run
+    the harness end-to-end in well under a minute; the committed snapshot
+    comes from a full run.  Raises ``RuntimeError`` if any scalar-vs-
+    vectorized equivalence check fails — timings of non-equivalent paths
+    are not comparable and must never be reported.
+    """
+    import tempfile
+
+    session_s = 2.0 if smoke else 10.0
+    sweep_session_s = 1.0 if smoke else 10.0
+    fec_frames = 300 if smoke else 2000
+    repeats = repeats if repeats is not None else (1 if smoke else 3)
+
+    checks = equivalence_report(session_duration_s=min(session_s, 2.0))
+    if not all(checks.values()):
+        failed = sorted(name for name, ok in checks.items() if not ok)
+        raise RuntimeError(f"scalar/vectorized equivalence failed: {failed}")
+
+    timings: list[BenchTiming] = []
+
+    for name, model in _session_loss_models().items():
+        timings.append(
+            _before_after(
+                f"single_session_{name}",
+                lambda model=model: _run_session(session_s, _clone_model(model), None),
+                repeats,
+                detail={"duration_s": session_s, "loss_model": name},
+            )
+        )
+    timings.append(
+        _before_after(
+            "single_session_dense_trace",
+            lambda: _run_session(
+                session_s,
+                GilbertElliottLoss(p_good_to_bad=0.02, p_bad_to_good=0.3, loss_in_bad=0.5),
+                dense_trace(session_s),
+            ),
+            repeats,
+            detail={
+                "duration_s": session_s,
+                "trace_breakpoints": max(2, int(round(session_s / 0.001))),
+                "loss_model": "gilbert_elliott",
+            },
+        )
+    )
+
+    timings.append(
+        _before_after(
+            "fec_codec",
+            lambda: _run_fec_codec(fec_frames),
+            repeats,
+            detail={"frames": fec_frames, "note": "allocation-bound; no fastpath toggle"},
+        )
+    )
+
+    def sweep_workload() -> None:
+        if results_dir is not None:
+            _run_smoke_sweep(Path(results_dir), sweep_session_s, processes)
+            return
+        with tempfile.TemporaryDirectory(prefix="perfbench-sweep-") as tmp:
+            _run_smoke_sweep(Path(tmp), sweep_session_s, processes)
+
+    timings.append(
+        _before_after(
+            "smoke_sweep",
+            sweep_workload,
+            repeats=1,  # the sweep is its own repetition (18 cells)
+            detail={"cells": 18, "duration_s": sweep_session_s},
+        )
+    )
+
+    targets_met = {
+        name: next(t.speedup for t in timings if t.name == name) >= target
+        for name, target in SPEEDUP_TARGETS.items()
+    }
+    return {
+        "schema": BENCH_SCHEMA,
+        "mode": "smoke" if smoke else "full",
+        "generated_unix": int(time.time()),
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "numpy": np.__version__,
+        },
+        "equivalence": checks,
+        "benchmarks": [t.to_jsonable() for t in timings],
+        "targets": SPEEDUP_TARGETS,
+        "targets_met": targets_met,
+    }
+
+
+def _before_after(
+    name: str, workload: Callable[[], Any], repeats: int, detail: Optional[dict] = None
+) -> BenchTiming:
+    with fastpath_mode(False):
+        before = _time_workload(workload, repeats)
+    with fastpath_mode(True):
+        after = _time_workload(workload, repeats)
+    return BenchTiming(name=name, before_s=before, after_s=after, detail=detail or {})
+
+
+def write_bench_json(payload: dict, path: str | Path = DEFAULT_BENCH_PATH) -> Path:
+    """Write the payload atomically and return the destination path."""
+    destination = Path(path)
+    tmp = destination.with_suffix(destination.suffix + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    tmp.replace(destination)
+    return destination
+
+
+def render_table(payload: dict) -> str:
+    """Human-readable summary of a harness payload."""
+    lines = [
+        f"perfbench ({payload['mode']} mode) — speedup = scalar / vectorized",
+        f"{'workload':<30} {'before':>10} {'after':>10} {'speedup':>9}",
+    ]
+    for entry in payload["benchmarks"]:
+        lines.append(
+            f"{entry['name']:<30} {entry['before_s']:>9.3f}s {entry['after_s']:>9.3f}s "
+            f"{entry['speedup']:>8.2f}x"
+        )
+    for name, met in payload.get("targets_met", {}).items():
+        target = payload["targets"][name]
+        status = "met" if met else "NOT MET"
+        lines.append(f"target {name}: >= {target:.1f}x — {status}")
+    equivalence = payload.get("equivalence", {})
+    status = "all passed" if all(equivalence.values()) else "FAILED"
+    lines.append(f"equivalence checks: {status} ({len(equivalence)})")
+    return "\n".join(lines)

@@ -11,6 +11,8 @@ bandwidth schedule for time-varying links.
 
 from __future__ import annotations
 
+import os
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
@@ -19,12 +21,43 @@ import numpy as np
 from .events import EventLoop
 from .packet import Packet
 
+#: Environment switch for the vectorized fast path.  ``REPRO_NET_FASTPATH=0``
+#: falls back to the scalar per-packet algorithms (one RNG call per decision,
+#: linear-scan trace lookups) — the reference implementation the benchmark
+#: harness times against and the equivalence tests compare with.  The flag is
+#: read at object construction time, so toggling it mid-process only affects
+#: paths/traces built afterwards.
+FASTPATH_ENV = "REPRO_NET_FASTPATH"
+
+#: Drop decisions are drawn from the loss model in blocks of this many
+#: packets; the per-packet path then consumes precomputed booleans instead of
+#: paying 1-2 ``Generator.random()`` dispatches per packet.
+DEFAULT_DROP_BLOCK_SIZE = 1024
+
+
+def fastpath_enabled() -> bool:
+    """Whether newly constructed paths/traces use the vectorized fast path."""
+    return os.environ.get(FASTPATH_ENV, "1") != "0"
+
 
 class LossModel:
     """Interface for packet-loss processes."""
 
     def should_drop(self, rng: np.random.Generator) -> bool:  # pragma: no cover - interface
         raise NotImplementedError
+
+    def sample_drops(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` consecutive drop decisions as a boolean array.
+
+        The block consumes the RNG stream exactly as ``n`` successive
+        :meth:`should_drop` calls would, so for a given seed the decision
+        sequence is identical whether drawn one at a time or in blocks of any
+        size.  Subclasses override this with vectorized implementations; the
+        fallback simply loops.
+        """
+        return np.fromiter(
+            (self.should_drop(rng) for _ in range(n)), dtype=bool, count=max(n, 0)
+        )
 
 
 @dataclass
@@ -41,6 +74,14 @@ class BernoulliLoss(LossModel):
         if self.loss_rate <= 0.0:
             return False
         return bool(rng.random() < self.loss_rate)
+
+    def sample_drops(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        if n <= 0:
+            return np.zeros(0, dtype=bool)
+        if self.loss_rate <= 0.0:
+            # The scalar path short-circuits without consuming a draw.
+            return np.zeros(n, dtype=bool)
+        return rng.random(n) < self.loss_rate
 
 
 @dataclass
@@ -68,6 +109,46 @@ class GilbertElliottLoss(LossModel):
                 self._in_bad_state = True
         loss = self.loss_in_bad if self._in_bad_state else self.loss_in_good
         return bool(rng.random() < loss)
+
+    def sample_drops(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Vectorized state-stepping block sampler.
+
+        Each packet consumes two uniforms — a state-transition draw and a
+        loss draw — in the same order as :meth:`should_drop`, so the decision
+        sequence for a given seed is bit-identical to the scalar path.  The
+        transition draws for the whole block are precomputed once; the chain
+        is then advanced run-by-run (one numpy slice per state run) rather
+        than packet-by-packet, so the Python-level work scales with the
+        number of state transitions, not the number of packets.
+        """
+        if n <= 0:
+            return np.zeros(0, dtype=bool)
+        u = rng.random(2 * n)
+        trans = u[0::2]
+        loss = u[1::2]
+        # Candidate transition points for either current state, found once.
+        to_bad = np.flatnonzero(trans < self.p_good_to_bad)
+        to_good = np.flatnonzero(trans < self.p_bad_to_good)
+        drops = np.empty(n, dtype=bool)
+        in_bad = self._in_bad_state
+        pos = 0
+        while pos < n:
+            candidates = to_good if in_bad else to_bad
+            cursor = int(np.searchsorted(candidates, pos))
+            flip_at = int(candidates[cursor]) if cursor < len(candidates) else n
+            rate = self.loss_in_bad if in_bad else self.loss_in_good
+            # Packets [pos, flip_at) keep the current state's loss rate.
+            drops[pos:flip_at] = loss[pos:flip_at] < rate
+            if flip_at >= n:
+                break
+            # The packet whose transition draw fires sees the *new* state's
+            # loss rate, exactly as the scalar path does.
+            in_bad = not in_bad
+            new_rate = self.loss_in_bad if in_bad else self.loss_in_good
+            drops[flip_at] = loss[flip_at] < new_rate
+            pos = flip_at + 1
+        self._in_bad_state = in_bad
+        return drops
 
     @property
     def steady_state_loss(self) -> float:
@@ -100,8 +181,42 @@ class BandwidthTrace:
             raise ValueError("trace times must be non-decreasing")
         if any(rate <= 0 for rate in self.rates_bps):
             raise ValueError("trace rates must be positive")
+        # Precomputed breakpoint arrays for O(log n) lookups, plus a cached
+        # active segment: consecutive lookups almost always land in the same
+        # piecewise-constant segment, making the common case O(1).
+        self._times_list = [float(t) for t in self.times]
+        self._rates_list = [float(r) for r in self.rates_bps]
+        self._seg_start = float("inf")  # empty cache until the first lookup
+        self._seg_end = float("-inf")
+        self._seg_rate = self._rates_list[0]
+        self._fast = fastpath_enabled()
 
     def rate_at(self, time: float) -> float:
+        if not self._fast:
+            return self.rate_at_scan(time)
+        if self._seg_start <= time < self._seg_end:
+            return self._seg_rate
+        times = self._times_list
+        # Index of the last breakpoint at or before ``time`` (-1 when the
+        # query precedes the trace, in which case the first rate applies).
+        idx = bisect_right(times, time) - 1
+        if idx < 0:
+            self._seg_start = float("-inf")
+            self._seg_end = times[0]
+            rate = self._rates_list[0]
+        else:
+            self._seg_start = times[idx]
+            self._seg_end = times[idx + 1] if idx + 1 < len(times) else float("inf")
+            rate = self._rates_list[idx]
+        self._seg_rate = rate
+        return rate
+
+    def rate_at_scan(self, time: float) -> float:
+        """Reference linear-scan lookup (the pre-fast-path implementation).
+
+        Kept for the scalar benchmark mode and the property tests asserting
+        that :meth:`rate_at` agrees with it on arbitrary traces.
+        """
         rate = self.rates_bps[0]
         for instant, value in zip(self.times, self.rates_bps):
             if instant <= time:
@@ -196,7 +311,11 @@ def expected_loss_rate(model: LossModel, samples: int = 20_000, seed: int = 0) -
 
     probe = copy.deepcopy(model)
     rng = np.random.default_rng(seed)
-    drops = sum(probe.should_drop(rng) for _ in range(samples))
+    sampler = getattr(probe, "sample_drops", None)
+    if sampler is not None:
+        drops = int(np.count_nonzero(sampler(rng, samples)))
+    else:  # duck-typed models that only implement should_drop
+        drops = sum(probe.should_drop(rng) for _ in range(samples))
     return drops / max(samples, 1)
 
 
@@ -215,6 +334,10 @@ class PathConfig:
     jitter_std_s: float = 0.0
     bandwidth_trace: Optional[BandwidthTrace] = None
     seed: int = 0
+    #: Packets per block drawn from the loss model at once.  ``None`` picks
+    #: the default block size (or 1 — per-packet scalar draws — when the
+    #: fast path is disabled via ``REPRO_NET_FASTPATH=0``).
+    drop_block_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.bandwidth_bps <= 0:
@@ -225,6 +348,8 @@ class PathConfig:
             raise ValueError("queue_capacity_bytes must be positive")
         if self.jitter_std_s < 0:
             raise ValueError("jitter_std_s must be non-negative")
+        if self.drop_block_size is not None and self.drop_block_size < 1:
+            raise ValueError("drop_block_size must be at least 1")
 
 
 @dataclass
@@ -269,10 +394,53 @@ class EmulatedPath:
         self.config = config
         self._deliver = deliver
         self._rng = np.random.default_rng(config.seed)
+        # Jitter draws come from their own stream so that drop decisions for
+        # a given seed are identical whether drawn per packet or in blocks
+        # (interleaved normal draws would shift the uniform stream).
+        self._jitter_rng = np.random.default_rng((config.seed, 0x6A177E12))
+        block = config.drop_block_size
+        if block is None:
+            block = DEFAULT_DROP_BLOCK_SIZE if fastpath_enabled() else 1
+        if not hasattr(config.loss_model, "sample_drops"):
+            # Duck-typed models that only implement should_drop stay scalar.
+            block = 1
+        self._drop_block_size = int(block)
+        if block > 1:
+            # Block refill draws decisions ahead of consumption, which would
+            # advance a *shared* stateful model (Gilbert-Elliott chain state)
+            # past what this path actually sent.  The path therefore owns a
+            # snapshot of the model taken at construction; callers that need
+            # one chain threaded across several paths/sessions must use
+            # ``drop_block_size=1`` (exact scalar semantics).
+            import copy
+
+            self._loss_model = copy.deepcopy(config.loss_model)
+        else:
+            self._loss_model = config.loss_model
+        self._drop_block: list[bool] = []
+        self._drop_pos = 0
         self._queue_bytes = 0
         # Time at which the transmitter finishes serialising the last queued packet.
         self._link_free_at = 0.0
         self.stats = PathStats()
+
+    def _should_drop(self) -> bool:
+        """Next drop decision, refilled from the loss model in blocks.
+
+        With a block size of 1 this degenerates to the scalar per-packet
+        path; either way the decision sequence for a given seed is identical
+        because block sampling consumes the RNG stream in the same order.
+        """
+        if self._drop_block_size <= 1:
+            return self._loss_model.should_drop(self._rng)
+        pos = self._drop_pos
+        if pos >= len(self._drop_block):
+            self._drop_block = self._loss_model.sample_drops(
+                self._rng, self._drop_block_size
+            ).tolist()
+            pos = 0
+        self._drop_pos = pos + 1
+        return self._drop_block[pos]
 
     def _current_bandwidth(self, time: float) -> float:
         if self.config.bandwidth_trace is not None:
@@ -294,7 +462,7 @@ class EmulatedPath:
         self.stats.packets_offered += 1
         now = self.loop.now
 
-        if self.config.loss_model.should_drop(self._rng):
+        if self._should_drop():
             self.stats.packets_lost_random += 1
             return False
 
@@ -312,7 +480,7 @@ class EmulatedPath:
 
         jitter = 0.0
         if self.config.jitter_std_s > 0:
-            jitter = abs(float(self._rng.normal(0.0, self.config.jitter_std_s)))
+            jitter = abs(float(self._jitter_rng.normal(0.0, self.config.jitter_std_s)))
         arrival = finish + self.config.propagation_delay_s + jitter
 
         def _dequeue() -> None:

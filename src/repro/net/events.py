@@ -5,47 +5,47 @@ latency responds to bitrate and packet loss over an emulated network.  We
 reproduce that prototype with a small but complete discrete-event simulator:
 events are scheduled at absolute simulated times and executed in time order,
 ties broken by insertion order so the simulation is fully deterministic.
+
+The heap holds plain ``[time, order, callback, cancelled]`` lists rather than
+objects: list comparison short-circuits on the ``(time, order)`` prefix (the
+order counter is unique, so callbacks are never compared), and the scheduler
+avoids a per-event object allocation plus the ``__lt__`` dispatch cost that
+dominated heap maintenance in profiles.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Callable, Optional
+
+# Heap-entry field indices.
+_TIME, _ORDER, _CALLBACK, _CANCELLED = range(4)
 
 
 class SimulationError(RuntimeError):
     """Raised when the simulation is driven in an inconsistent way."""
 
 
-@dataclass(order=True)
-class _ScheduledEvent:
-    """Internal heap entry: ordering is (time, sequence number)."""
-
-    time: float
-    order: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-
-
 class EventHandle:
     """Handle returned by :meth:`EventLoop.schedule` allowing cancellation."""
 
-    def __init__(self, event: _ScheduledEvent) -> None:
-        self._event = event
+    __slots__ = ("_entry",)
+
+    def __init__(self, entry: list) -> None:
+        self._entry = entry
 
     @property
     def time(self) -> float:
-        return self._event.time
+        return self._entry[_TIME]
 
     @property
     def cancelled(self) -> bool:
-        return self._event.cancelled
+        return self._entry[_CANCELLED]
 
     def cancel(self) -> None:
         """Cancel the event.  Cancelling an already-run event is a no-op."""
-        self._event.cancelled = True
+        self._entry[_CANCELLED] = True
 
 
 class EventLoop:
@@ -57,7 +57,7 @@ class EventLoop:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
-        self._heap: list[_ScheduledEvent] = []
+        self._heap: list[list] = []
         self._counter = itertools.count()
         self._processed = 0
 
@@ -69,7 +69,7 @@ class EventLoop:
     @property
     def pending(self) -> int:
         """Number of events still queued (including cancelled ones)."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        return sum(1 for entry in self._heap if not entry[_CANCELLED])
 
     @property
     def processed(self) -> int:
@@ -91,18 +91,18 @@ class EventLoop:
             raise SimulationError(
                 f"cannot schedule event at {time:.6f}, current time is {self._now:.6f}"
             )
-        event = _ScheduledEvent(time=float(time), order=next(self._counter), callback=callback)
-        heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        entry = [float(time), next(self._counter), callback, False]
+        heapq.heappush(self._heap, entry)
+        return EventHandle(entry)
 
     def step(self) -> bool:
         """Run the next pending event.  Returns False when nothing is queued."""
         while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
+            entry = heapq.heappop(self._heap)
+            if entry[_CANCELLED]:
                 continue
-            self._now = event.time
-            event.callback()
+            self._now = entry[_TIME]
+            entry[_CALLBACK]()
             self._processed += 1
             return True
         return False
@@ -117,19 +117,20 @@ class EventLoop:
         the requested horizon.
         """
         executed = 0
-        while self._heap:
+        heap = self._heap
+        while heap:
             if max_events is not None and executed >= max_events:
                 return
-            event = self._heap[0]
-            if event.cancelled:
-                heapq.heappop(self._heap)
+            entry = heap[0]
+            if entry[_CANCELLED]:
+                heapq.heappop(heap)
                 continue
-            if until is not None and event.time > until:
+            if until is not None and entry[_TIME] > until:
                 self._now = max(self._now, until)
                 return
-            heapq.heappop(self._heap)
-            self._now = event.time
-            event.callback()
+            heapq.heappop(heap)
+            self._now = entry[_TIME]
+            entry[_CALLBACK]()
             self._processed += 1
             executed += 1
         if until is not None:

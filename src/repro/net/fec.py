@@ -19,7 +19,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from .packet import FrameAssembler, Packetizer
 
 
-@dataclass
+@dataclass(slots=True)
 class FecConfig:
     """FEC configuration.
 

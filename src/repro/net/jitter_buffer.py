@@ -21,7 +21,7 @@ from typing import Optional
 import numpy as np
 
 
-@dataclass
+@dataclass(slots=True)
 class BufferedFrame:
     """A frame waiting inside the jitter buffer."""
 

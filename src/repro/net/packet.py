@@ -29,7 +29,7 @@ class PacketType(Enum):
     REPLY = "reply"  # downlink audio/text tokens from the MLLM
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """A single transport packet.
 
@@ -59,7 +59,7 @@ class Packet:
         return self.size_bytes * 8
 
 
-@dataclass
+@dataclass(slots=True)
 class NackRequest:
     """A receiver-to-sender request to retransmit specific packets of a frame."""
 
@@ -69,7 +69,7 @@ class NackRequest:
     size_bytes: int = 64
 
 
-@dataclass
+@dataclass(slots=True)
 class SequenceNackRequest:
     """A retransmission request addressed by global sequence numbers.
 

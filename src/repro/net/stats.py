@@ -14,7 +14,7 @@ from typing import Iterable, Optional
 import numpy as np
 
 
-@dataclass
+@dataclass(slots=True)
 class FrameRecord:
     """Per-frame transmission accounting."""
 

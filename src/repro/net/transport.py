@@ -47,7 +47,7 @@ class TransportConfig:
     fec: Optional[FecConfig] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class FrameDeliveryEvent:
     """Emitted by the receiver when a frame completes reassembly."""
 
@@ -508,13 +508,15 @@ def run_fixed_bitrate_session(
     session = VideoTransportSession(uplink_config, feedback_config, transport_config)
     workload = workload or FixedBitrateWorkload(bitrate_bps=bitrate_bps, fps=fps)
     frame_count = max(1, int(round(duration_s * workload.fps)))
-    sizes = workload.frame_sizes(frame_count)
+    # One bulk conversion to native ints instead of a numpy-scalar unwrap per
+    # scheduled frame.
+    sizes = workload.frame_sizes(frame_count).tolist()
     interval = 1.0 / workload.fps
 
     for frame_id in range(frame_count):
         capture_time = frame_id * interval
 
-        def _send(frame_id: int = frame_id, size: int = int(sizes[frame_id]), t: float = capture_time) -> None:
+        def _send(frame_id: int = frame_id, size: int = sizes[frame_id], t: float = capture_time) -> None:
             session.send_frame(frame_id, size, capture_time=t)
 
         session.loop.schedule_at(capture_time, _send)

@@ -1,0 +1,96 @@
+"""Tests for the persistent performance benchmark harness."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import perfbench
+from repro.analysis.perfbench import (
+    BenchTiming,
+    dense_trace,
+    equivalence_report,
+    fastpath_mode,
+    render_table,
+    write_bench_json,
+)
+from repro.net.emulator import FASTPATH_ENV, fastpath_enabled
+
+
+class TestFastpathMode:
+    def test_toggles_and_restores(self, monkeypatch):
+        monkeypatch.delenv(FASTPATH_ENV, raising=False)
+        assert fastpath_enabled()
+        with fastpath_mode(False):
+            assert not fastpath_enabled()
+            with fastpath_mode(True):
+                assert fastpath_enabled()
+            assert not fastpath_enabled()
+        assert fastpath_enabled()
+
+    def test_restores_explicit_previous_value(self, monkeypatch):
+        monkeypatch.setenv(FASTPATH_ENV, "0")
+        with fastpath_mode(True):
+            assert fastpath_enabled()
+        assert not fastpath_enabled()
+
+
+class TestDenseTrace:
+    def test_breakpoint_density(self):
+        trace = dense_trace(2.0, granularity_s=0.01)
+        assert len(trace.times) == 200
+        assert all(rate > 0 for rate in trace.rates_bps)
+
+    def test_minimum_two_breakpoints(self):
+        assert len(dense_trace(0.0001).times) == 2
+
+
+class TestEquivalenceReport:
+    def test_all_checks_pass(self):
+        checks = equivalence_report(session_duration_s=0.5)
+        assert checks, "report must contain named checks"
+        failed = [name for name, ok in checks.items() if not ok]
+        assert not failed
+
+
+class TestBenchTiming:
+    def test_speedup(self):
+        timing = BenchTiming(name="x", before_s=2.0, after_s=0.5)
+        assert timing.speedup == pytest.approx(4.0)
+
+    def test_zero_after_is_infinite(self):
+        assert BenchTiming(name="x", before_s=1.0, after_s=0.0).speedup == float("inf")
+
+    def test_jsonable_rounding(self):
+        payload = BenchTiming(name="x", before_s=1.23456789, after_s=1.0).to_jsonable()
+        assert payload["before_s"] == pytest.approx(1.234568)
+        assert payload["speedup"] == pytest.approx(1.235, abs=1e-3)
+
+
+class TestPayloadWriting:
+    def _payload(self):
+        return {
+            "schema": perfbench.BENCH_SCHEMA,
+            "mode": "smoke",
+            "equivalence": {"check": True},
+            "benchmarks": [
+                BenchTiming(name="w", before_s=3.0, after_s=1.0).to_jsonable()
+            ],
+            "targets": {"w": 2.0},
+            "targets_met": {"w": True},
+        }
+
+    def test_write_is_atomic_and_parsable(self, tmp_path):
+        destination = tmp_path / "BENCH_sweep.json"
+        written = write_bench_json(self._payload(), destination)
+        assert written == destination
+        data = json.loads(destination.read_text())
+        assert data["schema"] == perfbench.BENCH_SCHEMA
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_render_table_mentions_targets(self):
+        table = render_table(self._payload())
+        assert "w" in table
+        assert "met" in table
+        assert "equivalence checks: all passed" in table

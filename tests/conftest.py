@@ -1,0 +1,19 @@
+"""Shared test fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_fingerprint_memo(tmp_path, monkeypatch):
+    """Keep the sweep engine's fingerprint memo out of the real ~/.cache.
+
+    Tests that exercise ``SweepRunner`` (directly or through examples) would
+    otherwise create/rewrite ``~/.cache/repro/fingerprint.json`` on the
+    developer's machine.  Tests that care about the memo itself
+    (``TestFingerprintMemo``) override the env var again with their own path.
+    """
+    from repro.analysis import sweeps
+
+    monkeypatch.setenv(sweeps.FINGERPRINT_MEMO_ENV, str(tmp_path / "fingerprint-memo.json"))
