@@ -26,6 +26,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.analysis.perfbench import (  # noqa: E402 (path bootstrap above)
     DEFAULT_BENCH_PATH,
+    profile_workloads,
     render_table,
     run_benchmarks,
     write_bench_json,
@@ -48,7 +49,7 @@ def main() -> int:
         "--repeats",
         type=int,
         default=None,
-        help="timing repetitions per workload (default: 3, or 1 with --smoke)",
+        help="timing repetitions per workload (default: best-of-3, median reported)",
     )
     parser.add_argument(
         "--processes",
@@ -56,7 +57,20 @@ def main() -> int:
         default=None,
         help="sweep pool size (default: one per cell up to the CPU count)",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "cProfile each fast-path workload and print the top-20 functions "
+            "by cumulative time, so the next perf PR starts from data "
+            "(skips timing/gates; the sweep profile mostly shows pool wait)"
+        ),
+    )
     args = parser.parse_args()
+
+    if args.profile:
+        profile_workloads(smoke=args.smoke, processes=args.processes)
+        return 0
 
     payload = run_benchmarks(smoke=args.smoke, repeats=args.repeats, processes=args.processes)
     destination = write_bench_json(payload, args.out)

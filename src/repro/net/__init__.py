@@ -38,7 +38,7 @@ from .emulator import (
     loss_model_from_spec,
     loss_model_to_spec,
 )
-from .events import EventHandle, EventLoop, SimulationError
+from .events import DeadlineScheduler, EventHandle, EventLoop, SimulationError
 from .fec import FecConfig, FecDecoder, FecEncoder, fec_recovery_probability
 from .jitter_buffer import (
     BufferedFrame,
@@ -49,15 +49,20 @@ from .jitter_buffer import (
 )
 from .packet import (
     DEFAULT_MTU_BYTES,
+    DEFAULT_SEQUENCE_WINDOW,
     FrameAssembler,
+    FrameTable,
     NackRequest,
     Packet,
     Packetizer,
     PacketType,
+    SequenceNackRequest,
+    SequenceWindow,
 )
 from .stats import FrameRecord, LatencySummary, TransportStats, summarize_latencies
 from .traces import corpus, family_scenarios, list_families, scenario_family
 from .transport import (
+    BurstContext,
     FixedBitrateWorkload,
     FrameDeliveryEvent,
     TransportConfig,
@@ -77,7 +82,10 @@ __all__ = [
     "BernoulliLoss",
     "BufferBasedAbr",
     "BufferedFrame",
+    "BurstContext",
     "DEFAULT_MTU_BYTES",
+    "DEFAULT_SEQUENCE_WINDOW",
+    "DeadlineScheduler",
     "EmulatedPath",
     "EventHandle",
     "EventLoop",
@@ -89,6 +97,7 @@ __all__ = [
     "FrameAssembler",
     "FrameDeliveryEvent",
     "FrameRecord",
+    "FrameTable",
     "GccConfig",
     "GilbertElliottLoss",
     "GoogleCongestionControl",
@@ -104,6 +113,8 @@ __all__ = [
     "PathConfig",
     "PathStats",
     "RateSample",
+    "SequenceNackRequest",
+    "SequenceWindow",
     "SimulationError",
     "SymmetricPathPair",
     "ThroughputAbr",

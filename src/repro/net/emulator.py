@@ -13,8 +13,9 @@ from __future__ import annotations
 
 import os
 from bisect import bisect_right
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import Any, Callable, Optional, Sequence
 
 import numpy as np
 
@@ -389,10 +390,27 @@ class EmulatedPath:
         loop: EventLoop,
         config: PathConfig,
         deliver: Callable[[Packet, float], None],
+        deliver_block: Optional[Callable[[Any, np.ndarray, np.ndarray, int, bool], None]] = None,
+        lazy_dequeue: Optional[bool] = None,
     ) -> None:
         self.loop = loop
         self.config = config
         self._deliver = deliver
+        #: Block-delivery callback ``(context, offsets, arrivals, bytes,
+        #: ordered)`` — ``ordered`` means offsets are contiguous and
+        #: arrivals non-decreasing.
+        #: When set, :meth:`send_block` is available and the path defaults to
+        #: event-free lazy queue draining (see :meth:`_drain_queue`);
+        #: ``lazy_dequeue`` overrides that default (the transport enables it
+        #: for the feedback path alongside block mode).
+        self._deliver_block = deliver_block
+        self._lazy_dequeue = (
+            deliver_block is not None if lazy_dequeue is None else lazy_dequeue
+        )
+        # FIFO of [finish_times, cumulative_bytes, consumed_pos] chunks; the
+        # link serialises in order, so finish times are globally monotone
+        # across chunks and draining front-to-back is exact.
+        self._pending_dequeue: deque[list] = deque()
         self._rng = np.random.default_rng(config.seed)
         # Jitter draws come from their own stream so that drop decisions for
         # a given seed are identical whether drawn per packet or in blocks
@@ -405,6 +423,7 @@ class EmulatedPath:
             # Duck-typed models that only implement should_drop stay scalar.
             block = 1
         self._drop_block_size = int(block)
+        self._drop_block_np = np.zeros(0, dtype=bool)
         if block > 1:
             # Block refill draws decisions ahead of consumption, which would
             # advance a *shared* stateful model (Gilbert-Elliott chain state)
@@ -419,6 +438,14 @@ class EmulatedPath:
             self._loss_model = config.loss_model
         self._drop_block: list[bool] = []
         self._drop_pos = 0
+        # Per-burst derived arrays memoised on the sizes array's identity:
+        # fixed-bitrate senders offer the same (memoised) sizes array every
+        # frame, so cumulative bytes and bit counts never change.
+        self._memo_sizes: Optional[np.ndarray] = None
+        self._memo_bits: Optional[np.ndarray] = None
+        self._memo_cum: Optional[np.ndarray] = None
+        self._memo_pcum: Optional[np.ndarray] = None
+        self._ser_scratch = np.empty(96)
         self._queue_bytes = 0
         # Time at which the transmitter finishes serialising the last queued packet.
         self._link_free_at = 0.0
@@ -435,20 +462,89 @@ class EmulatedPath:
             return self._loss_model.should_drop(self._rng)
         pos = self._drop_pos
         if pos >= len(self._drop_block):
-            self._drop_block = self._loss_model.sample_drops(
+            self._drop_block_np = self._loss_model.sample_drops(
                 self._rng, self._drop_block_size
-            ).tolist()
+            )
+            self._drop_block = self._drop_block_np.tolist()
             pos = 0
         self._drop_pos = pos + 1
         return self._drop_block[pos]
+
+    def _take_drops(self, n: int) -> np.ndarray:
+        """Consume ``n`` consecutive drop decisions as a boolean array.
+
+        Shares the refill buffer with :meth:`_should_drop`, so mixing block
+        sends and per-packet sends (retransmissions) consumes the loss
+        model's RNG stream exactly as ``n`` scalar calls would.
+        """
+        if self._drop_block_size <= 1:
+            return np.fromiter(
+                (self._loss_model.should_drop(self._rng) for _ in range(n)),
+                dtype=bool,
+                count=n,
+            )
+        pos = self._drop_pos
+        block = self._drop_block_np
+        if len(block) - pos >= n:
+            self._drop_pos = pos + n
+            return block[pos : pos + n]
+        parts = [block[pos:]]
+        need = n - (len(block) - pos)
+        while need > 0:
+            fresh = self._loss_model.sample_drops(self._rng, self._drop_block_size)
+            take = min(need, len(fresh))
+            parts.append(fresh[:take])
+            if take < len(fresh):
+                self._drop_block_np = fresh
+                self._drop_pos = take
+            else:
+                self._drop_block_np = np.zeros(0, dtype=bool)
+                self._drop_pos = 0
+            need -= take
+        # Keep the scalar consumer's list view in sync with the refill.
+        self._drop_block = self._drop_block_np.tolist()
+        if len(parts) == 1:
+            return parts[0]
+        return np.concatenate(parts)
 
     def _current_bandwidth(self, time: float) -> float:
         if self.config.bandwidth_trace is not None:
             return self.config.bandwidth_trace.rate_at(time)
         return self.config.bandwidth_bps
 
+    def _drain_queue(self, now: float) -> None:
+        """Release queued bytes whose serialisation finished by ``now``.
+
+        The scalar path schedules one dequeue event per packet; in block
+        mode the same releases happen lazily at the points where queue
+        occupancy is actually read (sends and the ``queued_bytes`` property),
+        which are exactly the instants whose observations matter.
+        """
+        pending = self._pending_dequeue
+        while pending:
+            entry = pending[0]
+            if len(entry) == 2:  # single packet: (finish, size)
+                if entry[0] > now:
+                    return
+                self._queue_bytes -= entry[1]
+                pending.popleft()
+                continue
+            finishes, cum_bytes, pos = entry
+            if finishes[pos] > now:
+                return
+            if finishes[-1] <= now:  # whole chunk expired (the common case)
+                self._queue_bytes -= int(cum_bytes[-1] - cum_bytes[pos])
+                pending.popleft()
+                continue
+            idx = int(np.searchsorted(finishes, now, side="right"))
+            self._queue_bytes -= int(cum_bytes[idx] - cum_bytes[pos])
+            entry[2] = idx
+            return
+
     @property
     def queued_bytes(self) -> int:
+        if self._lazy_dequeue:
+            self._drain_queue(self.loop.now)
         return self._queue_bytes
 
     def queueing_delay(self) -> float:
@@ -466,6 +562,8 @@ class EmulatedPath:
             self.stats.packets_lost_random += 1
             return False
 
+        if self._lazy_dequeue:
+            self._drain_queue(now)
         if self._queue_bytes + packet.size_bytes > self.config.queue_capacity_bytes:
             self.stats.packets_dropped_queue += 1
             return False
@@ -483,17 +581,184 @@ class EmulatedPath:
             jitter = abs(float(self._jitter_rng.normal(0.0, self.config.jitter_std_s)))
         arrival = finish + self.config.propagation_delay_s + jitter
 
-        def _dequeue() -> None:
-            self._queue_bytes -= packet.size_bytes
-
         def _arrive() -> None:
             self.stats.packets_delivered += 1
             self.stats.bytes_delivered += packet.size_bytes
             self._deliver(packet, self.loop.now)
 
-        self.loop.schedule_at(finish, _dequeue)
+        if self._lazy_dequeue:
+            self._pending_dequeue.append((finish, packet.size_bytes))
+        else:
+
+            def _dequeue() -> None:
+                self._queue_bytes -= packet.size_bytes
+
+            self.loop.schedule_at(finish, _dequeue)
         self.loop.schedule_at(arrival, _arrive)
         return True
+
+    def send_block(self, sizes: np.ndarray, context: Any) -> None:
+        """Offer one frame burst to the path, batched.
+
+        Computes drop decisions, drop-tail admission, serialisation and
+        jitter for the whole burst with numpy — consuming the loss-model and
+        jitter RNG streams exactly as per-packet :meth:`send` calls would —
+        and schedules **one** arrival event per contiguous delivered run
+        (one per burst under jitter, whose reordering can interleave runs).
+        Each event hands the run to the block-delivery callback as
+        ``(context, offsets, arrival_times, bytes)``; per-packet arrival
+        times are exact, so receiver bookkeeping keyed on them observes the
+        same timeline as per-packet delivery.
+        """
+        n = len(sizes)
+        if n == 0:
+            return
+        stats = self.stats
+        stats.packets_offered += n
+        now = self.loop.now
+
+        drops = self._take_drops(n)
+        lost = int(np.count_nonzero(drops))
+        if lost:
+            stats.packets_lost_random += lost
+            keep = np.flatnonzero(~drops)
+        else:
+            keep = np.arange(n, dtype=np.int64)
+        if not len(keep):
+            return
+
+        self._drain_queue(now)
+        if lost:
+            kept_sizes = sizes[keep]
+            cum = np.cumsum(kept_sizes)
+            bits = kept_sizes * 8
+            pcum = None
+        elif sizes is self._memo_sizes:
+            kept_sizes = sizes
+            cum = self._memo_cum
+            bits = self._memo_bits
+            pcum = self._memo_pcum
+        else:
+            kept_sizes = sizes
+            cum = np.cumsum(sizes)
+            bits = sizes * 8
+            pcum = np.concatenate((np.zeros(1, dtype=np.int64), cum))
+            self._memo_sizes = sizes
+            self._memo_cum = cum
+            self._memo_bits = bits
+            self._memo_pcum = pcum
+        capacity = self.config.queue_capacity_bytes
+        if self._queue_bytes + int(cum[-1]) > capacity:
+            # Rare overflow: replicate per-packet drop-tail admission (a
+            # rejected packet leaves the backlog unchanged, so later smaller
+            # packets may still fit).
+            admitted: list[int] = []
+            backlog = self._queue_bytes
+            for offset, size in zip(keep.tolist(), kept_sizes.tolist()):
+                if backlog + size > capacity:
+                    stats.packets_dropped_queue += 1
+                else:
+                    backlog += size
+                    admitted.append(offset)
+            if not admitted:
+                return
+            keep = np.array(admitted, dtype=np.int64)
+            kept_sizes = sizes[keep]
+            cum = np.cumsum(kept_sizes)
+            bits = kept_sizes * 8
+            pcum = None
+
+        total_bytes = int(cum[-1])
+        bandwidth = self._current_bandwidth(now)
+        start = max(now, self._link_free_at)
+        # ``sizes * 8`` stays exact in int64; the division then rounds
+        # exactly like the scalar path's per-packet ``size_bits / bandwidth``
+        # and the cumulative sum accumulates left-to-right exactly like its
+        # sequential ``finish = finish + serialization``.
+        kept_count = len(bits)
+        scratch = self._ser_scratch
+        if len(scratch) < kept_count + 1:
+            self._ser_scratch = scratch = np.empty(2 * kept_count + 2)
+        scratch[0] = start
+        np.divide(bits, bandwidth, out=scratch[1 : kept_count + 1])
+        finishes = scratch[: kept_count + 1].cumsum()[1:]
+        self._link_free_at = float(finishes[-1])
+        self._queue_bytes += total_bytes
+        if self._queue_bytes > stats.max_queue_bytes:
+            stats.max_queue_bytes = self._queue_bytes
+        if pcum is None:
+            pcum = np.concatenate((np.zeros(1, dtype=np.int64), cum))
+        self._pending_dequeue.append([finishes, pcum, 0])
+
+        arrivals = finishes + self.config.propagation_delay_s
+        jittered = self.config.jitter_std_s > 0
+        if jittered:
+            arrivals = arrivals + np.abs(
+                self._jitter_rng.normal(0.0, self.config.jitter_std_s, size=len(keep))
+            )
+
+        if jittered:
+            # Reordered arrivals can interleave runs, so the whole burst is
+            # one delivery unit at its earliest arrival.
+            self._schedule_run(context, keep, arrivals, total_bytes, False)
+        elif len(keep) != n:  # random losses and/or queue drops fragment the burst
+            breaks = np.flatnonzero(np.diff(keep) > 1) + 1
+            bounds = np.concatenate(([0], breaks, [len(keep)]))
+            for a, b in zip(bounds[:-1].tolist(), bounds[1:].tolist()):
+                self._schedule_run(
+                    context,
+                    keep[a:b],
+                    arrivals[a:b],
+                    int(cum[b - 1] - (cum[a - 1] if a else 0)),
+                    True,
+                )
+        else:
+            self._schedule_run(context, keep, arrivals, total_bytes, True)
+
+    def _schedule_run(
+        self, context: Any, offsets: np.ndarray, arrivals: np.ndarray, run_bytes: int, ordered: bool
+    ) -> None:
+        """One loop event delivers the whole run at its earliest arrival.
+
+        Arrivals beyond the loop's current run horizon are *not* delivered
+        by that event: the run splits and the remainder waits on its own
+        event at its earliest arrival, which only fires if the simulation
+        is driven further — exactly the portion per-packet scheduling would
+        leave unexecuted at the horizon.
+        """
+        event_time = float(arrivals[0]) if ordered else float(np.min(arrivals))
+
+        def _arrive_run() -> None:
+            horizon = self.loop.horizon
+            tail = float(arrivals[-1]) if ordered else float(np.max(arrivals))
+            if tail <= horizon:
+                self.stats.packets_delivered += len(offsets)
+                self.stats.bytes_delivered += run_bytes
+                self._deliver_block(context, offsets, arrivals, run_bytes, ordered)
+                return
+            within = arrivals <= horizon
+            head = int(np.count_nonzero(within)) if ordered else within
+            if ordered:
+                head_offsets, head_arrivals = offsets[:head], arrivals[:head]
+                rest_offsets, rest_arrivals = offsets[head:], arrivals[head:]
+            else:
+                head_offsets, head_arrivals = offsets[within], arrivals[within]
+                rest_offsets, rest_arrivals = offsets[~within], arrivals[~within]
+            sizes = np.fromiter(
+                (context.packet_size(int(o)) for o in head_offsets),
+                dtype=np.int64,
+                count=len(head_offsets),
+            )
+            head_bytes = int(sizes.sum())
+            if len(head_offsets):
+                self.stats.packets_delivered += len(head_offsets)
+                self.stats.bytes_delivered += head_bytes
+                self._deliver_block(context, head_offsets, head_arrivals, head_bytes, ordered)
+            self._schedule_run(
+                context, rest_offsets, rest_arrivals, run_bytes - head_bytes, ordered
+            )
+
+        self.loop.schedule_at(event_time, _arrive_run)
 
 
 class SymmetricPathPair:

@@ -48,6 +48,79 @@ class EventHandle:
         self._entry[_CANCELLED] = True
 
 
+class DeadlineScheduler:
+    """Coalesce many timer deadlines into one outstanding loop event.
+
+    The per-packet transport used to schedule one closure per NACK timer
+    (one per incomplete frame per retry round).  This scheduler keeps its
+    own min-heap of ``(time, order, callback)`` deadlines and arms a single
+    :class:`EventLoop` event at the earliest one; when it fires, every
+    deadline due at that instant runs (in insertion order), and the loop
+    event is re-armed for the next.  Deadlines therefore fire at exactly
+    the times they were scheduled for — coalescing changes the number of
+    heap entries in the *event loop*, never the simulated timing.
+    """
+
+    __slots__ = ("_loop", "_heap", "_counter", "_handle", "_armed_at")
+
+    def __init__(self, loop: "EventLoop") -> None:
+        self._loop = loop
+        self._heap: list[list] = []
+        self._counter = itertools.count()
+        self._handle: Optional[EventHandle] = None
+        self._armed_at = float("inf")
+
+    @property
+    def pending(self) -> int:
+        """Deadlines not yet fired."""
+        return len(self._heap)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        tie_time: Optional[float] = None,
+        priority: int = 0,
+    ) -> None:
+        """Register ``callback`` to run at absolute simulated ``time``.
+
+        Same-instant deadlines run ordered by ``(tie_time, priority,
+        registration order)``; ``tie_time`` defaults to the registration
+        instant.  Per-event timers break such ties by when their
+        ``schedule`` call happened; batched callers register deadlines
+        *early* (at a run's first arrival), so they pass the instant the
+        per-event path would have scheduled at — the triggering packet's
+        arrival — and ``priority`` orders deadlines that one packet
+        triggers together, so collisions resolve identically in both modes.
+        """
+        tie = self._loop.now if tie_time is None else float(tie_time)
+        heapq.heappush(
+            self._heap, [float(time), tie, priority, next(self._counter), callback]
+        )
+        self._arm()
+
+    def _arm(self) -> None:
+        if not self._heap:
+            return
+        head = self._heap[0][0]
+        if self._handle is not None and not self._handle.cancelled and self._armed_at <= head:
+            return  # The outstanding event already covers the earliest deadline.
+        if self._handle is not None:
+            self._handle.cancel()
+        self._armed_at = head
+        self._handle = self._loop.schedule_at(head, self._fire)
+
+    def _fire(self) -> None:
+        now = self._loop.now
+        heap = self._heap
+        while heap and heap[0][0] <= now:
+            entry = heapq.heappop(heap)
+            entry[4]()
+        self._handle = None
+        self._armed_at = float("inf")
+        self._arm()
+
+
 class EventLoop:
     """A deterministic discrete-event loop.
 
@@ -60,11 +133,20 @@ class EventLoop:
         self._heap: list[list] = []
         self._counter = itertools.count()
         self._processed = 0
+        self._horizon = float("inf")
 
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    @property
+    def horizon(self) -> float:
+        """The ``until`` bound of the current/most recent :meth:`run` call
+        (+inf when unbounded).  Batched arrival events consult it so that
+        work timestamped beyond the horizon is deferred, exactly as
+        per-event scheduling would leave it unexecuted."""
+        return self._horizon
 
     @property
     def pending(self) -> int:
@@ -116,6 +198,7 @@ class EventLoop:
         clock is advanced to ``until`` so subsequent scheduling is relative to
         the requested horizon.
         """
+        self._horizon = float(until) if until is not None else float("inf")
         executed = 0
         heap = self._heap
         while heap:
@@ -138,6 +221,7 @@ class EventLoop:
 
     def run_until_idle(self, max_events: int = 10_000_000) -> None:
         """Run until no events remain; guard against runaway simulations."""
+        self._horizon = float("inf")
         executed = 0
         while self.step():
             executed += 1

@@ -13,10 +13,62 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
+import numpy as np
+
+from .emulator import fastpath_enabled
 from .packet import Packet, PacketType
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from .packet import FrameAssembler, Packetizer
+
+
+def _xor_payloads_scalar(payloads: list[bytes], size: int) -> bytes:
+    """Reference XOR over python bytearrays, one byte at a time.
+
+    This is the shape of parity coding most textbook implementations start
+    from; it allocates a fresh buffer per group and pays a Python-level loop
+    per byte.  Kept as the ``REPRO_NET_FASTPATH=0`` baseline the vectorized
+    path is benchmarked against.
+    """
+    out = bytearray(size)
+    for payload in payloads:
+        for i, byte in enumerate(payload):
+            out[i] ^= byte
+    return bytes(out)
+
+
+class _XorScratch:
+    """Reusable ``numpy.uint8`` scratch for XOR parity.
+
+    One buffer is reused across groups so steady-state coding performs no
+    allocations beyond the final ``tobytes`` copy.
+    """
+
+    __slots__ = ("_buffer",)
+
+    def __init__(self) -> None:
+        self._buffer: Optional[np.ndarray] = None
+
+    def xor(self, payloads: list[bytes], size: int) -> bytes:
+        buffer = self._buffer
+        if buffer is None or len(buffer) < size:
+            self._buffer = buffer = np.zeros(max(2048, size), dtype=np.uint8)
+        view = buffer[:size]
+        view[:] = 0
+        for payload in payloads:
+            view[: len(payload)] ^= np.frombuffer(payload, dtype=np.uint8)
+        return view.tobytes()
+
+
+def xor_payloads(
+    payloads: list[bytes], size: int, scratch: Optional[_XorScratch] = None
+) -> Optional[bytes]:
+    """XOR ``payloads`` (zero-padded to ``size``); None if any is missing."""
+    if not payloads or any(p is None for p in payloads):
+        return None
+    if scratch is not None:
+        return scratch.xor(payloads, size)
+    return _xor_payloads_scalar(payloads, size)
 
 
 @dataclass(slots=True)
@@ -48,15 +100,24 @@ class FecEncoder:
     def __init__(self, config: FecConfig) -> None:
         self.config = config
         self._next_fec_sequence = 0
+        # Payload coding mode is fixed at construction, like every other
+        # fast-path toggle: numpy uint8 views vs the per-byte reference.
+        self._scratch = _XorScratch() if fastpath_enabled() else None
 
     def protect(self, packets: list[Packet], packetizer: "Packetizer" = None) -> list[Packet]:
-        """Build one parity packet per ``group_size`` consecutive data packets."""
+        """Build one parity packet per ``group_size`` consecutive data packets.
+
+        When the covered packets carry payloads, the parity packet carries
+        their XOR (zero-padded to the group's largest payload), so a single
+        loss per group is recoverable bit-for-bit.
+        """
         parity_packets: list[Packet] = []
         group = self.config.group_size
         for start in range(0, len(packets), group):
             members = packets[start : start + group]
             covered = tuple(p.index_in_frame for p in members)
             size = max(p.size_bytes for p in members)
+            payload = xor_payloads([p.payload for p in members], size, self._scratch)
             parity = Packet(
                 sequence=self._next_fec_sequence,
                 frame_id=members[0].frame_id,
@@ -65,7 +126,8 @@ class FecEncoder:
                 size_bytes=size,
                 capture_time=members[0].capture_time,
                 packet_type=PacketType.FEC,
-                metadata={"covers": covered},
+                payload=payload,
+                metadata={"covers": covered, "sizes": tuple(p.size_bytes for p in members)},
             )
             self._next_fec_sequence += 1
             parity_packets.append(parity)
@@ -107,6 +169,7 @@ class FecDecoder:
         self.stale_timeout_s = (
             self.DEFAULT_STALE_TIMEOUT_S if stale_timeout_s is None else stale_timeout_s
         )
+        self._scratch = _XorScratch() if fastpath_enabled() else None
         self._seen: dict[int, dict[int, Packet]] = {}
         self._pending_parity: dict[int, list[Packet]] = {}
         self._unconfirmed: dict[int, set[int]] = {}
@@ -260,11 +323,37 @@ class FecDecoder:
             capture_time=parity.capture_time,
             send_time=parity.send_time,
             packet_type=PacketType.VIDEO,
+            payload=self._recover_payload(parity, index),
             metadata={"recovered_by_fec": True},
         )
         self._seen.setdefault(parity.frame_id, {})[index] = recovered
         self._unconfirmed.setdefault(parity.frame_id, set()).add(index)
         self.recovered_packets += 1
+        return recovered
+
+    def _recover_payload(self, parity: Packet, index: int) -> Optional[bytes]:
+        """Rebuild the missing packet's bytes: parity XOR the survivors.
+
+        Returns None when the parity carries no payload (size-only
+        simulation) or any surviving packet's payload is unavailable.
+        """
+        if parity.payload is None:
+            return None
+        covers = parity.metadata.get("covers", ())
+        seen = self._seen.get(parity.frame_id, {})
+        payloads: list[bytes] = [parity.payload]
+        for covered in covers:
+            if covered == index:
+                continue
+            survivor = seen.get(covered)
+            if survivor is None or survivor.payload is None:
+                return None
+            payloads.append(survivor.payload)
+        recovered = xor_payloads(payloads, parity.size_bytes, self._scratch)
+        sizes = parity.metadata.get("sizes")
+        if recovered is not None and sizes is not None:
+            position = covers.index(index)
+            recovered = recovered[: sizes[position]]
         return recovered
 
     def _confirm_spurious(self, packet: Packet) -> None:

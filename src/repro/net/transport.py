@@ -10,22 +10,25 @@ completely received — which Figure 3 sweeps against bitrate and loss rate.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 import numpy as np
 
-from .emulator import BernoulliLoss, EmulatedPath, PathConfig
-from .events import EventLoop
+from .emulator import BernoulliLoss, EmulatedPath, PathConfig, fastpath_enabled
+from .events import DeadlineScheduler, EventLoop
 from .fec import FecConfig, FecEncoder, FecDecoder
 from .packet import (
     DEFAULT_MTU_BYTES,
     FrameAssembler,
+    FrameTable,
     NackRequest,
     Packet,
     Packetizer,
     PacketType,
     SequenceNackRequest,
+    SequenceWindow,
 )
 from .stats import TransportStats
 
@@ -45,6 +48,47 @@ class TransportConfig:
     max_nack_rounds: int = 20
     #: Optional forward error correction applied per frame.
     fec: Optional[FecConfig] = None
+
+
+@dataclass(slots=True)
+class BurstContext:
+    """Sender-side description of one packetised frame burst.
+
+    The batched hot path ships this instead of per-packet :class:`Packet`
+    objects: packet ``i`` of the burst has sequence ``first_sequence + i``,
+    carries the MTU except for the last packet's remainder, and shares the
+    frame's capture/send times.
+    """
+
+    frame_id: int
+    first_sequence: int
+    count: int
+    frame_bytes: int
+    mtu_bytes: int
+    capture_time: float
+    send_time: float
+
+    def packet_size(self, index: int) -> int:
+        if index < self.count - 1:
+            return self.mtu_bytes
+        return self.frame_bytes - (self.count - 1) * self.mtu_bytes
+
+
+@dataclass(slots=True)
+class RetransmissionBatch:
+    """All retransmissions answering one NACK request, sent as one burst.
+
+    ``entries`` holds ``(burst_context, packet_index)`` pairs; packet ``i``
+    of the batch retransmits ``entries[i]``.
+    """
+
+    entries: list[tuple[BurstContext, int]]
+    send_time: float
+    request_time: float
+
+    def packet_size(self, index: int) -> int:
+        context, packet_index = self.entries[index]
+        return context.packet_size(packet_index)
 
 
 @dataclass(slots=True)
@@ -71,14 +115,23 @@ class VideoSender:
         uplink: EmulatedPath,
         config: TransportConfig,
         stats: TransportStats,
+        block_mode: bool = False,
     ) -> None:
         self.loop = loop
         self.uplink = uplink
         self.config = config
         self.stats = stats
         self.packetizer = Packetizer(config.mtu_bytes)
+        self._block_mode = block_mode
         self._sent_packets: dict[int, dict[int, Packet]] = {}
         self._packet_by_sequence: dict[int, Packet] = {}
+        # Block-mode ledger: frames are (first_sequence, count, bytes,
+        # capture_time) records; retransmission packets are materialised on
+        # demand from a NACK instead of being held per packet.
+        self._ledger: dict[int, BurstContext] = {}
+        self._ledger_first_seqs: list[int] = []
+        self._ledger_frame_ids: list[int] = []
+        self._lookup_memo: Optional[BurstContext] = None
         self._last_retransmit_time: dict[int, float] = {}
         self._fec_encoder = FecEncoder(config.fec) if config.fec else None
         self.bytes_sent = 0
@@ -86,8 +139,41 @@ class VideoSender:
         self.retransmissions_sent = 0
 
     def send_frame(self, frame_id: int, size_bytes: int, capture_time: float) -> list[Packet]:
-        """Packetise and transmit one encoded frame."""
+        """Packetise and transmit one encoded frame.
+
+        On the batched path the burst travels as arrays and the returned
+        list is empty — no per-packet objects exist until a NACK asks for a
+        retransmission.
+        """
         now = self.loop.now
+        if self._block_mode:
+            frame_bytes = max(1, int(size_bytes))
+            sizes = self.packetizer.packet_sizes(frame_bytes)
+            count = len(sizes)
+            first_sequence = self.packetizer.allocate_sequences(count)
+            context = BurstContext(
+                frame_id=frame_id,
+                first_sequence=first_sequence,
+                count=count,
+                frame_bytes=frame_bytes,
+                mtu_bytes=self.packetizer.mtu_bytes,
+                capture_time=capture_time,
+                send_time=now,
+            )
+            self._ledger[frame_id] = context
+            self._ledger_first_seqs.append(first_sequence)
+            self._ledger_frame_ids.append(frame_id)
+            self.stats.register_frame(
+                frame_id=frame_id,
+                capture_time=capture_time,
+                send_time=now,
+                size_bytes=size_bytes,
+                packet_count=count,
+            )
+            self.bytes_sent += frame_bytes
+            self.packets_sent += count
+            self.uplink.send_block(sizes, context)
+            return []
         packets = self.packetizer.packetize(frame_id, size_bytes, capture_time)
         self._sent_packets[frame_id] = {p.index_in_frame: p for p in packets}
         for packet in packets:
@@ -123,8 +209,59 @@ class VideoSender:
         self.retransmissions_sent += 1
         return True
 
+    def _claim_retransmission(self, context: BurstContext, index: int) -> bool:
+        """Dedup gate: skip a sequence retransmitted very recently."""
+        sequence = context.first_sequence + index
+        last = self._last_retransmit_time.get(sequence)
+        if last is not None and self.loop.now - last < self.config.nack_retry_interval_s / 2:
+            return False
+        self._last_retransmit_time[sequence] = self.loop.now
+        return True
+
+    def _send_batch(self, entries: list[tuple[BurstContext, int]], request_time: float) -> None:
+        """Transmit one NACK request's retransmissions as a single burst."""
+        now = self.loop.now
+        size_list = [context.packet_size(index) for context, index in entries]
+        sizes = np.array(size_list, dtype=np.int64)
+        self.bytes_sent += sum(size_list)
+        self.packets_sent += len(entries)
+        self.retransmissions_sent += len(entries)
+        self.uplink.send_block(
+            sizes, RetransmissionBatch(entries=entries, send_time=now, request_time=request_time)
+        )
+
+    def _lookup_sequence(self, sequence: int) -> Optional[tuple[BurstContext, int]]:
+        """Resolve a global sequence number to its (burst, index) in the ledger."""
+        memo = self._lookup_memo
+        if memo is not None and 0 <= sequence - memo.first_sequence < memo.count:
+            return memo, sequence - memo.first_sequence
+        position = bisect_right(self._ledger_first_seqs, sequence) - 1
+        if position < 0:
+            return None
+        context = self._ledger.get(self._ledger_frame_ids[position])
+        if context is None:  # forgotten frame
+            return None
+        index = sequence - context.first_sequence
+        if index >= context.count:
+            return None
+        self._lookup_memo = context
+        return context, index
+
     def on_nack(self, request: NackRequest) -> None:
         """Handle a per-frame NACK by retransmitting the missing packet indices."""
+        if self._block_mode:
+            context = self._ledger.get(request.frame_id)
+            if context is None:
+                return
+            entries = [
+                (context, index)
+                for index in request.missing_indices
+                if 0 <= index < context.count and self._claim_retransmission(context, index)
+            ]
+            if entries:
+                self.stats.record_retransmission(request.frame_id, len(entries))
+                self._send_batch(entries, request.request_time)
+            return
         frame_packets = self._sent_packets.get(request.frame_id)
         if not frame_packets:
             return
@@ -141,19 +278,37 @@ class VideoSender:
     def on_sequence_nack(self, request: SequenceNackRequest) -> None:
         """Handle a sequence-number NACK (covers fully lost frames)."""
         retransmitted_by_frame: dict[int, int] = {}
-        for sequence in request.missing_sequences:
-            original = self._packet_by_sequence.get(sequence)
-            if original is None:
-                continue
-            if self._retransmit(original, request.request_time):
-                retransmitted_by_frame[original.frame_id] = (
-                    retransmitted_by_frame.get(original.frame_id, 0) + 1
-                )
+        if self._block_mode:
+            entries = []
+            for sequence in request.missing_sequences:
+                resolved = self._lookup_sequence(sequence)
+                if resolved is None:
+                    continue
+                context, index = resolved
+                if self._claim_retransmission(context, index):
+                    entries.append(resolved)
+                    retransmitted_by_frame[context.frame_id] = (
+                        retransmitted_by_frame.get(context.frame_id, 0) + 1
+                    )
+            if entries:
+                self._send_batch(entries, request.request_time)
+        else:
+            for sequence in request.missing_sequences:
+                original = self._packet_by_sequence.get(sequence)
+                if original is None:
+                    continue
+                if self._retransmit(original, request.request_time):
+                    retransmitted_by_frame[original.frame_id] = (
+                        retransmitted_by_frame.get(original.frame_id, 0) + 1
+                    )
         for frame_id, count in retransmitted_by_frame.items():
             self.stats.record_retransmission(frame_id, count)
 
     def forget_frame(self, frame_id: int) -> None:
         """Drop retransmission state for a frame (e.g. once it is obsolete)."""
+        forgotten = self._ledger.pop(frame_id, None)
+        if forgotten is not None and self._lookup_memo is forgotten:
+            self._lookup_memo = None
         packets = self._sent_packets.pop(frame_id, None)
         if packets:
             for packet in packets.values():
@@ -171,11 +326,23 @@ class VideoReceiver:
         send_nack: Callable[[NackRequest], None],
         on_frame: Optional[Callable[[FrameDeliveryEvent], None]] = None,
         send_sequence_nack: Optional[Callable[[SequenceNackRequest], None]] = None,
+        block_mode: bool = False,
     ) -> None:
         self.loop = loop
         self.config = config
         self.stats = stats
         self.assembler = FrameAssembler()
+        # Batched-delivery bookkeeping: per-frame arrival-time arrays, a
+        # ring-buffer sequence window, and every NACK/completion deadline
+        # coalesced behind a single outstanding loop event.  All three are
+        # keyed on exact per-packet arrival timestamps, so recording a whole
+        # delivered run at its first arrival leaves every observable
+        # statistic identical to per-packet delivery.
+        self._block_mode = block_mode
+        self._table = FrameTable()
+        self._window = SequenceWindow()
+        self._deadlines = DeadlineScheduler(loop)
+        self._seq_chain_pending = False
         self._send_nack = send_nack
         self._send_sequence_nack = send_sequence_nack
         self._on_frame = on_frame
@@ -311,6 +478,298 @@ class VideoReceiver:
         self._send_nack(request)
         self.loop.schedule(self.config.nack_retry_interval_s, lambda: self._check_frame(frame_id))
 
+    # --- batched delivery (fast path) ------------------------------------
+
+    def on_block(
+        self,
+        context: BurstContext,
+        offsets: np.ndarray,
+        arrivals: np.ndarray,
+        run_bytes: int,
+        ordered: bool = True,
+    ) -> None:
+        """Record one delivered run of a frame burst.
+
+        Runs are handed over at their *first* arrival with exact per-packet
+        arrival times; every decision below keys on those timestamps (never
+        on ``loop.now``), and timers are armed at absolute instants, so the
+        NACK/completion timeline matches per-packet delivery bit-for-bit.
+        """
+        config = self.config
+        # The window records the span this run actually covers (losses
+        # between runs surface as the sequence jump when the next run, or a
+        # later burst, records) — runs of one burst must not re-initialise
+        # each other's slots.
+        base = int(offsets[0])
+        last_offset = int(offsets[-1])
+        first_discovery = self._window.record(
+            context.first_sequence + base,
+            last_offset - base + 1,
+            offsets - base,
+            arrivals,
+            ordered,
+        )
+        if first_discovery != np.inf:
+            self._arm_sequence_chain(first_discovery)
+
+        slot = self._table.ensure(
+            context.frame_id, context.count, context.capture_time, context.send_time
+        )
+        fresh = slot.received == 0
+        if not fresh:
+            view = (
+                slot.arrivals[base : last_offset + 1] if ordered else slot.arrivals[offsets]
+            )
+            fresh = bool(np.isinf(view).all())
+        if fresh:
+            if ordered:
+                slot.arrivals[base : last_offset + 1] = arrivals
+            else:
+                slot.arrivals[offsets] = arrivals
+            slot.received += len(offsets)
+            slot.bytes += run_bytes
+        else:
+            # Rare out-of-order recording: an extreme reorder let NACKed
+            # retransmissions record before this run's event fired.  Merge
+            # per packet with the duplicate guard so received/bytes stay
+            # exact and arrivals keep their minima.
+            for offset, arrival in zip(offsets.tolist(), arrivals.tolist()):
+                self._table.record_single(
+                    slot, offset, arrival, context.packet_size(offset)
+                )
+
+        complete_now = slot.received >= slot.expected
+        if complete_now and slot.complete_time is None and slot.finalize_at is None:
+            completion = float(arrivals[-1]) if ordered else slot.completion_instant()
+            self._finish_frame(context.frame_id, slot, completion, final=ordered)
+        if config.enable_nack and not slot.check_armed and last_offset == context.count - 1:
+            # The frame's final packet tells the receiver the remaining
+            # holes are losses; arm the check only if the frame was still
+            # incomplete at that packet's own arrival instant.  Under
+            # reordering a burst that eventually completes can still arm the
+            # check (a straggler was in flight when the final *index*
+            # landed) — the scalar path does exactly that.
+            if ordered:
+                t_last = float(arrivals[-1])
+                incomplete_then = not complete_now  # in-order: processed last
+            else:
+                t_last = float(arrivals[np.flatnonzero(offsets == context.count - 1)[0]])
+                incomplete_then = int(np.count_nonzero(slot.arrivals <= t_last)) < slot.expected
+            if incomplete_then:
+                slot.check_armed = True
+                # tie_time: the scalar path arms this check while processing
+                # the frame's final packet, i.e. at that packet's arrival.
+                self._deadlines.schedule_at(
+                    t_last + config.nack_check_margin_s,
+                    lambda frame_id=context.frame_id: self._frame_check_fire(frame_id),
+                    tie_time=t_last,
+                    priority=1,
+                )
+
+    def _arm_sequence_chain(self, discovery: float) -> None:
+        """Start the coalesced sequence-NACK chain at ``discovery`` + margin
+        (the instant the scalar path arms its own chain)."""
+        if (
+            discovery != np.inf
+            and self.config.enable_nack
+            and self._send_sequence_nack is not None
+            and not self._seq_chain_pending
+        ):
+            self._seq_chain_pending = True
+            # tie_time: the scalar path arms its chain while processing the
+            # discovering packet, i.e. at the discovery instant.
+            self._deadlines.schedule_at(
+                discovery + self.config.nack_check_margin_s,
+                self._sequence_chain_fire,
+                tie_time=discovery,
+            )
+
+    def on_single(self, packet: Packet, arrival_time: float) -> None:
+        """Record one individually delivered packet."""
+        self._record_single_delivery(
+            frame_id=packet.frame_id,
+            expected=packet.packets_in_frame,
+            index=packet.index_in_frame,
+            sequence=packet.sequence,
+            size_bytes=packet.size_bytes,
+            capture_time=packet.capture_time,
+            send_time=packet.send_time,
+            arrival_time=arrival_time,
+        )
+
+    def on_retransmission_block(
+        self,
+        batch: "RetransmissionBatch",
+        offsets: np.ndarray,
+        arrivals: np.ndarray,
+        run_bytes: int,
+        ordered: bool,
+    ) -> None:
+        """Record one delivered run of a retransmission batch.
+
+        A NACK request's retransmissions travel as one burst through
+        :meth:`EmulatedPath.send_block`; each surviving packet is recorded
+        with its exact arrival time, so this is observationally identical to
+        per-packet delivery.
+        """
+        entries = batch.entries
+        for offset, arrival in zip(offsets.tolist(), arrivals.tolist()):
+            context, index = entries[offset]
+            self._record_single_delivery(
+                frame_id=context.frame_id,
+                expected=context.count,
+                index=index,
+                sequence=context.first_sequence + index,
+                size_bytes=context.packet_size(index),
+                capture_time=context.capture_time,
+                send_time=batch.send_time,
+                arrival_time=arrival,
+            )
+
+    def _record_single_delivery(
+        self,
+        frame_id: int,
+        expected: int,
+        index: int,
+        sequence: int,
+        size_bytes: int,
+        capture_time: float,
+        send_time: float,
+        arrival_time: float,
+    ) -> None:
+        if sequence >= 0:
+            discovery = self._window.record_single(sequence, arrival_time)
+            if discovery != np.inf:
+                self._arm_sequence_chain(discovery)
+        slot = self._table.get(frame_id)
+        if slot is None:
+            slot = self._table.ensure(frame_id, expected, capture_time, send_time)
+        elif send_time < slot.first_send_time:
+            slot.first_send_time = send_time
+        filled_hole = self._table.record_single(slot, index, arrival_time, size_bytes)
+        completed_now = False
+        if filled_hole and slot.received >= slot.expected and slot.complete_time is None:
+            completion = slot.completion_instant()
+            # "Completed by this packet" is judged at its arrival instant
+            # (that is what suppresses the scalar path's check arming)...
+            completed_now = completion <= arrival_time
+            # ...but the *recorded* instant is only final once it is in the
+            # simulated past: a batch processed later can still carry an
+            # earlier arrival for some index (a retransmission racing a
+            # reordered in-flight original) and lower it.  Future-dated
+            # completions defer to a loop event that re-derives the instant.
+            if completion <= self.loop.now:
+                self._record_completion(frame_id, slot, completion)
+            elif slot.finalize_at is None or completion < slot.finalize_at:
+                self._finish_frame(frame_id, slot, completion, final=False)
+        if (
+            not completed_now
+            and self.config.enable_nack
+            and index == expected - 1
+            and not slot.check_armed
+        ):
+            slot.check_armed = True
+            self._deadlines.schedule_at(
+                arrival_time + self.config.nack_check_margin_s,
+                lambda: self._frame_check_fire(frame_id),
+                tie_time=arrival_time,
+                priority=1,
+            )
+
+    def _finish_frame(self, frame_id: int, slot, completion: float, final: bool) -> None:
+        """Record a completion, deferring when the instant could still move.
+
+        ``final`` asserts the completion instant can no longer be lowered (a
+        jitter-reordered original racing a retransmission is the only thing
+        that can lower it).  Recording early keeps every statistic exact —
+        the *value* is the exact instant — but the ``on_frame`` callback
+        must still observe it at the right simulated time, so a registered
+        callback always defers to a loop event at the completion instant.
+        """
+        if final and (self._on_frame is None or completion <= self.loop.now):
+            self._record_completion(frame_id, slot, completion)
+            return
+        slot.finalize_at = completion
+        self.loop.schedule_at(
+            completion, lambda: self._finalize_frame(frame_id)
+        )
+
+    def _finalize_frame(self, frame_id: int) -> None:
+        slot = self._table.get(frame_id)
+        if slot is None or slot.complete_time is not None:
+            return
+        # Re-derive the completion instant: a retransmission racing a
+        # reordered in-flight original can only have moved it earlier.
+        self._record_completion(frame_id, slot, slot.completion_instant())
+
+    def _record_completion(self, frame_id: int, slot, complete_time: float) -> None:
+        slot.complete_time = complete_time
+        self.stats.record_completion(frame_id, complete_time)
+        event = FrameDeliveryEvent(
+            frame_id=frame_id,
+            capture_time=slot.capture_time,
+            send_time=slot.first_send_time,
+            complete_time=complete_time,
+            size_bytes=slot.bytes,
+        )
+        self.delivered_frames.append(event)
+        if self._on_frame is not None:
+            self._on_frame(event)
+
+    def _frame_check_fire(self, frame_id: int) -> None:
+        """Deadline-driven twin of :meth:`_check_frame` over the frame table."""
+        now = self.loop.now
+        slot = self._table.get(frame_id)
+        if slot is None or slot.complete_at(now):
+            return
+        missing = slot.missing_at(now)
+        if not missing:
+            return
+        if slot.nack_rounds >= self.config.max_nack_rounds:
+            return
+        slot.nack_rounds += 1
+        self._send_nack(
+            NackRequest(frame_id=frame_id, missing_indices=missing, request_time=now)
+        )
+        self._deadlines.schedule_at(
+            now + self.config.nack_retry_interval_s,
+            lambda: self._frame_check_fire(frame_id),
+            priority=1,
+        )
+
+    def _sequence_chain_fire(self) -> None:
+        """Deadline-driven twin of :meth:`_check_sequences` over the window."""
+        self._seq_chain_pending = False
+        now = self.loop.now
+        max_rounds = self.config.max_nack_rounds
+        gaps = self._window.gaps_at(now, max_rounds)
+        if not len(gaps):
+            # Batched recording can know of gaps whose discovery instant is
+            # still ahead; re-arm for that instant — exactly when the scalar
+            # path would restart its chain.
+            upcoming = self._window.next_discovery_after(now, max_rounds)
+            if upcoming != np.inf:
+                self._seq_chain_pending = True
+                # tie_time: the scalar path would restart its chain while
+                # processing the packet arriving at the discovery instant.
+                self._deadlines.schedule_at(
+                    upcoming + self.config.nack_check_margin_s,
+                    self._sequence_chain_fire,
+                    tie_time=upcoming,
+                )
+            return
+        self._window.bump_rounds(gaps)
+        request = SequenceNackRequest(
+            missing_sequences=tuple(gaps),
+            request_time=now,
+        )
+        if self._send_sequence_nack is not None:
+            self._send_sequence_nack(request)
+        self._seq_chain_pending = True
+        self._deadlines.schedule_at(
+            now + self.config.nack_retry_interval_s, self._sequence_chain_fire
+        )
+
     # --- sequence-gap detection ------------------------------------------
 
     def _track_sequence(self, packet: Packet) -> None:
@@ -327,7 +786,19 @@ class VideoReceiver:
             self._highest_sequence = packet.sequence
         if not self.config.enable_nack or self._send_sequence_nack is None:
             return
-        if self._missing_sequences and not self._sequence_check_pending:
+        # Arm the check chain only when a NACK-able gap exists right now.
+        # This pins arming instants to gap-discovery instants, which is what
+        # lets the batched path reproduce this chain's timing exactly.  It
+        # is a (deliberate) semantic refinement over arming on the raw
+        # missing set: previously, round-exhausted leftovers armed no-op
+        # checks, and a fresh gap discovered within one check margin of
+        # such an arming would ride it and be NACKed up to one margin
+        # earlier than its own discovery would schedule.
+        if (
+            self._missing_sequences
+            and not self._sequence_check_pending
+            and self._sequence_gaps()
+        ):
             self._sequence_check_pending = True
             self.loop.schedule(self.config.nack_check_margin_s, self._check_sequences)
 
@@ -384,8 +855,24 @@ class VideoTransportSession:
             seed=uplink_config.seed + 1,
         )
 
-        self.uplink = EmulatedPath(self.loop, uplink_config, self._deliver_uplink)
-        self.feedback = EmulatedPath(self.loop, feedback_config, self._deliver_feedback)
+        # Batched block delivery carries frame bursts as arrays end-to-end.
+        # FEC sessions keep the per-packet path: parity decode decisions are
+        # order-coupled to individual arrivals in ways block recording does
+        # not reproduce (see docs/PERFORMANCE.md for the contract).
+        self.block_mode = fastpath_enabled() and self.transport_config.fec is None
+
+        self.uplink = EmulatedPath(
+            self.loop,
+            uplink_config,
+            self._deliver_uplink,
+            deliver_block=self._deliver_uplink_block if self.block_mode else None,
+        )
+        self.feedback = EmulatedPath(
+            self.loop,
+            feedback_config,
+            self._deliver_feedback,
+            lazy_dequeue=self.block_mode or None,
+        )
 
         self.receiver = VideoReceiver(
             self.loop,
@@ -394,14 +881,37 @@ class VideoTransportSession:
             send_nack=self._queue_nack,
             on_frame=on_frame,
             send_sequence_nack=self._queue_sequence_nack,
+            block_mode=self.block_mode,
         )
-        self.sender = VideoSender(self.loop, self.uplink, self.transport_config, self.stats)
+        self.sender = VideoSender(
+            self.loop,
+            self.uplink,
+            self.transport_config,
+            self.stats,
+            block_mode=self.block_mode,
+        )
         self._nack_sequence = 0
 
     # --- wiring ---------------------------------------------------------
 
     def _deliver_uplink(self, packet: Packet, arrival_time: float) -> None:
-        self.receiver.on_packet(packet, arrival_time)
+        if self.block_mode:
+            self.receiver.on_single(packet, arrival_time)
+        else:
+            self.receiver.on_packet(packet, arrival_time)
+
+    def _deliver_uplink_block(
+        self,
+        context,
+        offsets: np.ndarray,
+        arrivals: np.ndarray,
+        run_bytes: int,
+        ordered: bool,
+    ) -> None:
+        if type(context) is BurstContext:
+            self.receiver.on_block(context, offsets, arrivals, run_bytes, ordered)
+        else:
+            self.receiver.on_retransmission_block(context, offsets, arrivals, run_bytes, ordered)
 
     def _queue_nack(self, request: NackRequest) -> None:
         packet = Packet(
@@ -513,13 +1023,17 @@ def run_fixed_bitrate_session(
     sizes = workload.frame_sizes(frame_count).tolist()
     interval = 1.0 / workload.fps
 
-    for frame_id in range(frame_count):
-        capture_time = frame_id * interval
+    # Chained scheduling: each send schedules the next, so the event heap
+    # holds one source event instead of one per frame (identical timing —
+    # the next capture instant never precedes the current one).
+    def _send(frame_id: int) -> None:
+        session.send_frame(frame_id, sizes[frame_id], capture_time=frame_id * interval)
+        if frame_id + 1 < frame_count:
+            session.loop.schedule_at(
+                (frame_id + 1) * interval, lambda: _send(frame_id + 1)
+            )
 
-        def _send(frame_id: int = frame_id, size: int = sizes[frame_id], t: float = capture_time) -> None:
-            session.send_frame(frame_id, size, capture_time=t)
-
-        session.loop.schedule_at(capture_time, _send)
+    session.loop.schedule_at(0.0, lambda: _send(0))
 
     # Allow in-flight retransmissions to settle after the last frame is sent.
     session.run(until=duration_s + 5.0)

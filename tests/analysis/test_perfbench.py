@@ -67,6 +67,26 @@ class TestBenchTiming:
         assert payload["before_s"] == pytest.approx(1.234568)
         assert payload["speedup"] == pytest.approx(1.235, abs=1e-3)
 
+    def test_throughput_from_units(self):
+        timing = BenchTiming(name="x", before_s=2.0, after_s=0.5, units=10.0)
+        assert timing.throughput == pytest.approx(20.0)
+        assert BenchTiming(name="x", before_s=1.0, after_s=0.5).throughput == 0.0
+        assert timing.to_jsonable()["throughput"] == pytest.approx(20.0)
+
+
+class TestTimeWorkload:
+    def test_reports_median_and_samples(self):
+        values = iter([0.0, 0.5, 0.5, 0.9, 1.0, 1.1])
+        original = perfbench.time.perf_counter
+        perfbench.time.perf_counter = lambda: next(values)
+        try:
+            median, samples = perfbench._time_workload(lambda: None, repeats=3)
+        finally:
+            perfbench.time.perf_counter = original
+        # Deltas are 0.5, 0.4, 0.1 -> median 0.4, samples in run order.
+        assert median == pytest.approx(0.4)
+        assert samples == pytest.approx([0.5, 0.4, 0.1])
+
 
 class TestPayloadWriting:
     def _payload(self):

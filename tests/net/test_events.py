@@ -154,3 +154,60 @@ class TestEventLoopProperties:
         loop.run(until=horizon)
         assert all(d <= horizon for d in executed)
         assert loop.now >= horizon or not delays
+
+
+class TestDeadlineScheduler:
+    def _make(self):
+        from repro.net.events import DeadlineScheduler, EventLoop
+
+        loop = EventLoop()
+        return loop, DeadlineScheduler(loop)
+
+    def test_fires_at_exact_times_in_order(self):
+        loop, scheduler = self._make()
+        fired = []
+        scheduler.schedule_at(2.0, lambda: fired.append(("b", loop.now)))
+        scheduler.schedule_at(1.0, lambda: fired.append(("a", loop.now)))
+        scheduler.schedule_at(3.0, lambda: fired.append(("c", loop.now)))
+        loop.run_until_idle()
+        assert fired == [("a", 1.0), ("b", 2.0), ("c", 3.0)]
+
+    def test_single_outstanding_loop_event(self):
+        """Many deadlines ride one loop event at a time: processing N
+        deadlines costs N loop events at most (one per distinct instant),
+        not one per registration round-trip."""
+        loop, scheduler = self._make()
+        for i in range(50):
+            scheduler.schedule_at(5.0, lambda: None)
+        assert loop.pending == 1  # one armed event covers all 50
+        loop.run_until_idle()
+        assert scheduler.pending == 0
+
+    def test_earlier_deadline_rearms(self):
+        loop, scheduler = self._make()
+        fired = []
+        scheduler.schedule_at(5.0, lambda: fired.append(5.0))
+        scheduler.schedule_at(1.0, lambda: fired.append(1.0))
+        loop.run_until_idle()
+        assert fired == [1.0, 5.0]
+
+    def test_same_instant_runs_in_insertion_order(self):
+        loop, scheduler = self._make()
+        fired = []
+        for label in "abc":
+            scheduler.schedule_at(1.0, lambda label=label: fired.append(label))
+        loop.run_until_idle()
+        assert fired == ["a", "b", "c"]
+
+    def test_callback_may_schedule_next_deadline(self):
+        loop, scheduler = self._make()
+        fired = []
+
+        def chain():
+            fired.append(loop.now)
+            if len(fired) < 3:
+                scheduler.schedule_at(loop.now + 1.0, chain)
+
+        scheduler.schedule_at(1.0, chain)
+        loop.run_until_idle()
+        assert fired == [1.0, 2.0, 3.0]

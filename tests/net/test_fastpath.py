@@ -217,3 +217,50 @@ class TestSessionEquivalence:
         config = PathConfig(loss_model=model, seed=0, drop_block_size=1)
         run_fixed_bitrate_session(2e6, 1.0, uplink_config=config)
         assert model._in_bad_state is True
+
+
+class TestHorizonEquivalence:
+    """Batched run events must not observe arrivals beyond the run horizon."""
+
+    def _overloaded_session(self):
+        from repro.net.emulator import BernoulliLoss, PathConfig
+        from repro.net.transport import VideoTransportSession
+
+        config = PathConfig(
+            bandwidth_bps=20_000,
+            queue_capacity_bytes=2_000_000,
+            loss_model=BernoulliLoss(0.0),
+            seed=1,
+        )
+        session = VideoTransportSession(uplink_config=config)
+        for frame_id in range(60):
+            session.loop.schedule_at(
+                frame_id / 30, lambda f=frame_id: session.send_frame(f, 25_000)
+            )
+        return session
+
+    def _stats(self, session):
+        summary = session.stats.summary()
+        path = session.uplink.stats
+        return (
+            summary.count,
+            summary.delivered,
+            summary.mean_s if summary.delivered else None,
+            path.packets_delivered,
+            path.bytes_delivered,
+        )
+
+    @pytest.mark.parametrize("resume", [False, True])
+    def test_backlogged_link_cut_at_horizon(self, monkeypatch, resume):
+        """A 20 kbps link with a deep queue stretches a burst's arrivals far
+        past the horizon: delivery stats and completions must match the
+        scalar path both when the run is cut there and when it resumes."""
+        results = {}
+        for fast in ("0", "1"):
+            monkeypatch.setenv(FASTPATH_ENV, fast)
+            session = self._overloaded_session()
+            session.run(until=7.0)
+            if resume:
+                session.run(until=300.0)
+            results[fast] = self._stats(session)
+        assert results["0"] == results["1"]

@@ -1,0 +1,170 @@
+"""Edge-case tests for the receiver's ring-buffer sequence window.
+
+The batched transport tracks received sequences and NACK-able gaps in
+:class:`SequenceWindow`.  These tests pin the awkward cases: gaps that
+straddle the ring's wraparound point, NACK state for sequences evicted from
+the ring, and duplicate retransmissions arriving after the window advanced
+past them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.net.packet import SequenceWindow
+
+
+def record_run(window, first, count, t0=1.0, spacing=0.001):
+    """Record a clean contiguous run of ``count`` sequences."""
+    arrivals = t0 + spacing * np.arange(count)
+    return window.record(first, count, np.arange(count), arrivals, ordered=True)
+
+
+class TestGapBasics:
+    def test_gap_between_runs_discovered_at_next_arrival(self):
+        window = SequenceWindow(capacity=64)
+        record_run(window, 0, 10, t0=1.0)
+        discovery = record_run(window, 12, 3, t0=2.0)
+        assert discovery == 2.0
+        assert window.gaps_at(2.0, max_rounds=20) == [10, 11]
+        # Before the discovering arrival the gap is not NACK-able.
+        assert window.gaps_at(1.5, max_rounds=20) == []
+
+    def test_filled_gap_disappears(self):
+        window = SequenceWindow(capacity=64)
+        record_run(window, 0, 5, t0=1.0)
+        record_run(window, 6, 2, t0=2.0)
+        assert window.gaps_at(2.0, max_rounds=20) == [5]
+        assert window.record_single(5, 2.5) == np.inf  # retransmission lands
+        assert window.gaps_at(3.0, max_rounds=20) == []
+
+    def test_round_exhaustion_excludes_gap(self):
+        window = SequenceWindow(capacity=64)
+        record_run(window, 0, 5, t0=1.0)
+        record_run(window, 6, 2, t0=2.0)
+        for _ in range(3):
+            window.bump_rounds(window.gaps_at(2.0, max_rounds=3))
+        assert window.gaps_at(2.0, max_rounds=3) == []
+
+    def test_tail_loss_pends_until_later_traffic(self):
+        window = SequenceWindow(capacity=64)
+        record_run(window, 0, 5, t0=1.0)
+        # Sequences 5..7 were offered but lost entirely; nothing delivered
+        # after them yet, so their discovery instant is unknown.
+        assert window.record(5, 3, np.zeros(0, dtype=np.int64), np.zeros(0)) == np.inf
+        assert window.gaps_at(10.0, max_rounds=20) == []
+        # The next run's first arrival discovers all three at once.
+        assert record_run(window, 8, 2, t0=3.0) == 3.0
+        assert window.gaps_at(3.0, max_rounds=20) == [5, 6, 7]
+
+
+class TestWraparound:
+    def test_gap_at_ring_wraparound(self):
+        """A gap whose slots straddle ``capacity`` boundary must survive the
+        modular indexing: sequences capacity-1 and capacity map to the last
+        and first slot respectively."""
+        capacity = 32
+        window = SequenceWindow(capacity=capacity)
+        record_run(window, 0, capacity - 2, t0=1.0)  # up to sequence 29
+        # Sequences 30..33 lost (straddling slot 31 -> slot 0 wrap), then a
+        # run starting at 34 discovers them.
+        discovery = record_run(window, capacity + 2, 4, t0=2.0)
+        assert discovery == 2.0
+        expected = [capacity - 2, capacity - 1, capacity, capacity + 1]
+        assert window.gaps_at(2.0, max_rounds=20) == expected
+        # Filling the wrapped gap clears exactly it.
+        window.record_single(capacity, 2.5)
+        assert window.gaps_at(3.0, max_rounds=20) == [capacity - 2, capacity - 1, capacity + 1]
+
+    def test_arrivals_survive_many_wraps(self):
+        capacity = 16
+        window = SequenceWindow(capacity=capacity)
+        first = 0
+        for _ in range(10):  # 10 full revolutions of the ring
+            record_run(window, first, capacity, t0=float(first))
+            first += capacity
+        assert window.hi == first - 1
+        assert window.lo == first - capacity
+        assert window.gaps_at(1e9, max_rounds=20) == []
+
+
+class TestEviction:
+    def test_nack_for_evicted_sequence_is_dropped(self):
+        """A gap that falls off the ring is abandoned: it never shows up in
+        a NACK scan again and is counted in ``evicted_gaps``."""
+        capacity = 16
+        window = SequenceWindow(capacity=capacity)
+        record_run(window, 0, 4, t0=1.0)
+        record_run(window, 5, 3, t0=2.0)  # sequence 4 is a live gap
+        assert window.gaps_at(2.0, max_rounds=20) == [4]
+        # Contiguous traffic advances the window until sequence 4 falls off.
+        record_run(window, 8, 16, t0=3.0)
+        assert window.lo > 4
+        assert window.gaps_at(10.0, max_rounds=20) == []
+        assert window.evicted_gaps == 1
+
+    def test_duplicate_retransmission_after_window_advance(self):
+        """A retransmission for a sequence the window already evicted must
+        be ignored gracefully (the scalar path forgets such sequences too).
+        """
+        capacity = 16
+        window = SequenceWindow(capacity=capacity)
+        record_run(window, 0, 4, t0=1.0)
+        record_run(window, 5, 3, t0=2.0)
+        record_run(window, 8, 16, t0=3.0)  # evicts sequence 4
+        assert window.record_single(4, 4.0) == np.inf
+        # The stale arrival must not corrupt the slot now owned by the
+        # aliasing live sequence (4 % 16 == 20 % 16).
+        assert float(window._arrival[4 % capacity]) != 4.0
+        assert window.gaps_at(10.0, max_rounds=20) == []
+
+    def test_undiscovered_tail_losses_evicted_with_window(self):
+        capacity = 16
+        window = SequenceWindow(capacity=capacity)
+        record_run(window, 0, 4, t0=1.0)
+        # Tail losses with unknown discovery...
+        window.record(4, 4, np.zeros(0, dtype=np.int64), np.zeros(0))
+        # ...then one huge contiguous run evicts them before their discovery
+        # could make them NACK-able.
+        record_run(window, 8, 2 * capacity, t0=2.0)
+        assert window.gaps_at(10.0, max_rounds=20) == []
+        assert window.evicted_gaps >= 4
+
+
+class TestRecordSingleJump:
+    def test_out_of_band_jump_creates_gaps(self):
+        window = SequenceWindow(capacity=64)
+        record_run(window, 0, 3, t0=1.0)
+        assert window.record_single(6, 2.0) == 2.0
+        assert window.gaps_at(2.0, max_rounds=20) == [3, 4, 5]
+
+    def test_jump_without_skips_creates_no_gap(self):
+        window = SequenceWindow(capacity=64)
+        record_run(window, 0, 3, t0=1.0)
+        assert window.record_single(3, 2.0) == np.inf
+        assert window.gaps_at(5.0, max_rounds=20) == []
+
+
+class TestTimestampExactness:
+    def test_future_arrivals_filtered_by_query_time(self):
+        """Batched recording can know arrivals ahead of the query instant;
+        a gap filled in the future is still a gap *now*."""
+        window = SequenceWindow(capacity=64)
+        record_run(window, 0, 5, t0=1.0)
+        record_run(window, 6, 2, t0=2.0)
+        # Retransmission recorded early with a future arrival.
+        window.record_single(5, 3.0)
+        assert window.gaps_at(2.5, max_rounds=20) == [5]  # not yet landed
+        assert window.gaps_at(3.0, max_rounds=20) == []  # landed
+
+    def test_next_discovery_after_sees_future_gap(self):
+        window = SequenceWindow(capacity=64)
+        record_run(window, 0, 5, t0=1.0)
+        record_run(window, 6, 2, t0=5.0)  # gap 5 discovered at t=5
+        assert window.next_discovery_after(2.0, max_rounds=20) == 5.0
+        assert window.next_discovery_after(5.0, max_rounds=20) == np.inf
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            SequenceWindow(capacity=1)
