@@ -14,10 +14,18 @@ cells load from the content-hash cache instead of re-executing.
 for every numeric metric) and writes ``report.md`` / ``report.json`` next
 to them — a paste-ready cross-scenario comparison.
 
+Cells can also execute on *other machines*: ``--serve [HOST:]PORT`` turns
+this process into a sweep coordinator that hands cells to worker agents
+(``python -m repro.distrib.worker --connect HOST:PORT``, one per machine or
+core), and ``--workers host:port,...`` dials out to persistent agents
+(``worker --listen PORT``) instead.  Results land in the same ``results/``
+tree either way — caching and ``--report`` work unchanged.
+
 Run with:
     PYTHONPATH=src python examples/sweep_scenarios.py                     # full default grid
     PYTHONPATH=src python examples/sweep_scenarios.py --smoke --report    # 4-cell CI smoke run + report
     PYTHONPATH=src python examples/sweep_scenarios.py --corpus lte_drive loss_ladder --report
+    PYTHONPATH=src python examples/sweep_scenarios.py --serve 0.0.0.0:7071   # distribute cells
 """
 
 from __future__ import annotations
@@ -159,13 +167,60 @@ def main() -> None:
         default=None,
         help="pool size (default: one per cell up to the CPU count)",
     )
+    parser.add_argument(
+        "--serve",
+        metavar="[HOST:]PORT",
+        default=None,
+        help=(
+            "distribute cells: listen for workers "
+            "(python -m repro.distrib.worker --connect HOST:PORT)"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        metavar="HOST:PORT,...",
+        default=None,
+        help=(
+            "distribute cells: dial these persistent worker agents "
+            "(python -m repro.distrib.worker --listen PORT)"
+        ),
+    )
+    parser.add_argument(
+        "--startup-timeout",
+        type=float,
+        default=120.0,
+        help="abort a distributed sweep if no worker connects in this many seconds",
+    )
     args = parser.parse_args()
 
+    backend = None
+    if args.serve is not None or args.workers is not None:
+        from repro.distrib import DistributedBackend
+        from repro.distrib.protocol import parse_address
+
+        backend = DistributedBackend(
+            listen=parse_address(args.serve) if args.serve is not None else None,
+            workers=args.workers.split(",") if args.workers else None,
+            startup_timeout_s=args.startup_timeout,
+        )
+        print(f"distributed backend: {backend.describe()}")
+
     grid = build_grid(args)
-    runner = SweepRunner(results_dir=args.results_dir, processes=args.processes)
+    runner = SweepRunner(
+        results_dir=args.results_dir, processes=args.processes, backend=backend
+    )
     print(f"sweeping {grid.cell_count} cells into {args.results_dir}/ ...")
     report = runner.run(grid)
     summarize(report)
+    failed = report.failed_cells
+    if failed:
+        print(f"\nERROR: {len(failed)} cell(s) failed:")
+        for cell in failed:
+            error = cell.error or {}
+            print(
+                f"  ! {cell.experiment} / {cell.scenario.name} / seed {cell.seed}: "
+                f"{error.get('type')}: {error.get('message')}"
+            )
     if report.cached:
         print("\n(cached cells were loaded from disk; delete the results dir to force re-runs)")
 
@@ -175,6 +230,11 @@ def main() -> None:
         print(digest.render_text())
         paths = write_report(digest, args.results_dir)
         print(f"\nwrote {paths['markdown']} and {paths['json']}")
+
+    if failed:
+        # Fault isolation keeps one bad cell from sinking a long sweep, but
+        # the process must still signal the failures (CI greps on exit code).
+        raise SystemExit(1)
 
 
 if __name__ == "__main__":

@@ -15,7 +15,10 @@ Workloads:
   two carry ≥1.8× gates locking in the batched block-delivery transport),
   plus ``single_session_dense_trace`` over a 1 ms-granularity bandwidth
   trace (the resolution of standard cellular trace corpora) with bursty
-  loss (≥2× gate).
+  loss (≥2× gate), plus ``single_session_fec`` — an XOR-FEC-protected
+  bursty session through the batched send path (the send side is batched,
+  delivery stays per-packet for decode-order exactness, so the gain is
+  modest and the workload is gated on equivalence, not speedup).
 * ``smoke_sweep`` — an 18-cell ``figure3_latency`` sweep (3 scenarios × 6
   seeds) through the multiprocessing pool with the cell cache disabled,
   the workload the ≥4× target is measured on.
@@ -29,10 +32,10 @@ a failed gate must mean a regression).  Before timing anything the harness
 asserts statistical equivalence between the scalar and vectorized paths:
 identical seeds must produce identical drop sequences (Bernoulli and
 Gilbert-Elliott), identical ``rate_at`` lookups, identical end-to-end
-session statistics — including jittered and single-packet-frame sessions
-that stress the batched delivery path — and identical FEC parity bytes.
-A speedup claimed over a baseline that computes something different would
-be meaningless.
+session statistics — including jittered, single-packet-frame and
+FEC-protected sessions that stress the batched delivery path — and
+identical FEC parity bytes.  A speedup claimed over a baseline that
+computes something different would be meaningless.
 """
 
 from __future__ import annotations
@@ -58,7 +61,13 @@ from ..net.emulator import (
 )
 from ..net.fec import FecConfig, FecDecoder, FecEncoder
 from ..net.packet import FrameAssembler, Packetizer
-from ..net.transport import run_fixed_bitrate_session
+from ..net.transport import (
+    FixedBitrateWorkload,
+    TransportConfig,
+    VideoTransportSession,
+    drive_fixed_bitrate,
+    run_fixed_bitrate_session,
+)
 
 #: Schema identifier stamped into the emitted JSON.  v2 adds per-workload
 #: ``units``/``throughput`` (size-independent work measures for regression
@@ -156,6 +165,43 @@ def _run_session(
     )
 
 
+def _run_fec_session(
+    duration_s: float,
+    seed: int = 5,
+    bitrate_bps: float = 4e6,
+    jitter_std_s: float = 0.0,
+) -> tuple:
+    """One FEC-protected bursty session; returns every observable that must
+    match between the scalar path and the batched send path: the latency
+    summary, the decoder's recovery counters, and a digest of per-frame
+    completion instants (bit-exact, not just statistically close)."""
+    config = PathConfig(
+        loss_model=GilbertElliottLoss(p_good_to_bad=0.04, p_bad_to_good=0.3, loss_in_bad=0.5),
+        seed=seed,
+        jitter_std_s=jitter_std_s,
+    )
+    session = VideoTransportSession(
+        uplink_config=config,
+        transport_config=TransportConfig(fec=FecConfig(group_size=5)),
+    )
+    drive_fixed_bitrate(session, FixedBitrateWorkload(bitrate_bps=bitrate_bps), duration_s)
+    summary = session.stats.summary()
+    completions = tuple(
+        (event.frame_id, event.complete_time) for event in session.receiver.delivered_frames
+    )
+    return (
+        summary.count,
+        summary.delivered,
+        summary.mean_s,
+        summary.p99_s,
+        summary.mean_retransmissions,
+        tuple(sorted(session.fec_summary().items())),
+        session.uplink.stats.packets_delivered,
+        session.sender.retransmissions_sent,
+        hash(completions),
+    )
+
+
 def _run_smoke_sweep(results_dir: Path, duration_s: float, processes: Optional[int]) -> int:
     """The 18-cell benchmark sweep; returns the number of executed cells."""
     from .sweeps import Scenario, SweepGrid, SweepRunner
@@ -198,6 +244,15 @@ def _run_smoke_sweep(results_dir: Path, duration_s: float, processes: Optional[i
         seeds=(0, 1, 2, 3, 4, 5),
     )
     report = SweepRunner(results_dir=results_dir, processes=processes, use_cache=False).run(grid)
+    if report.failed_cells:
+        # Fault isolation turns runner crashes into instant error records; a
+        # sweep of failures would finish *faster* than a healthy one and make
+        # the speedup gate pass vacuously.  A failed gate must mean a
+        # regression, so a crashing benchmark sweep must abort the harness.
+        raise RuntimeError(
+            f"benchmark sweep had {len(report.failed_cells)} failed cells: "
+            f"{report.failed_cells[0].error}"
+        )
     return len(report.cells)
 
 
@@ -345,6 +400,22 @@ def equivalence_report(session_duration_s: float = 2.0) -> dict[str, bool]:
     with fastpath_mode(True):
         fec_fast = _run_fec_codec(40, digest_every=1)
     checks["fec_payload_bytes_identical"] = fec_scalar == fec_fast
+
+    # FEC sessions ride the batched send_block path (per-packet delivery
+    # events); their stats must match the scalar reference bit-for-bit —
+    # latency summary, recovery/spurious counters, per-frame completion
+    # instants — including under jitter and with single-packet frames.
+    fec_session_variants = {
+        "fec_session_stats_identical": dict(),
+        "fec_session_stats_identical_jittered": dict(jitter_std_s=0.002),
+        "fec_session_stats_identical_single_packet": dict(bitrate_bps=250_000),
+    }
+    for label, kwargs in fec_session_variants.items():
+        with fastpath_mode(False):
+            scalar = _run_fec_session(session_duration_s, **kwargs)
+        with fastpath_mode(True):
+            fast = _run_fec_session(session_duration_s, **kwargs)
+        checks[label] = scalar == fast
     return checks
 
 
@@ -455,6 +526,18 @@ def canonical_workloads(
                 "duration_s": session_s,
                 "trace_breakpoints": max(2, int(round(session_s / 0.001))),
                 "loss_model": "gilbert_elliott",
+            },
+        }
+    )
+    entries.append(
+        {
+            "name": "single_session_fec",
+            "workload": lambda: _run_fec_session(session_s),
+            "units": session_s,
+            "detail": {
+                "duration_s": session_s,
+                "loss_model": "gilbert_elliott",
+                "note": "FEC session through the batched send path (per-packet delivery)",
             },
         }
     )

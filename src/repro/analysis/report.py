@@ -30,6 +30,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .sweeps import SweepReport
 
 __all__ = [
+    "FailedCell",
     "MetricAggregate",
     "ScenarioAggregate",
     "ExperimentDigest",
@@ -189,12 +190,57 @@ class ExperimentDigest:
         }
 
 
+@dataclass(frozen=True)
+class FailedCell:
+    """One cell that produced an error record instead of a result."""
+
+    experiment: str
+    scenario: str
+    seed: int
+    error_type: str
+    message: str
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "FailedCell":
+        error = record.get("error") or {}
+        return cls(
+            experiment=str(record["experiment"]),
+            scenario=str(record["scenario"]["name"]),
+            seed=int(record["seed"]),
+            error_type=str(error.get("type", "Error")),
+            message=str(error.get("message", "")),
+        )
+
+    def to_jsonable(self) -> dict[str, Any]:
+        return {
+            "experiment": self.experiment,
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "error_type": self.error_type,
+            "message": self.message,
+        }
+
+    def describe(self) -> str:
+        message = self.message if len(self.message) <= 120 else self.message[:117] + "..."
+        return (
+            f"{self.experiment} / {self.scenario} / seed {self.seed}: "
+            f"{self.error_type}: {message}"
+        )
+
+
 @dataclass
 class SweepDigest:
-    """The aggregated form of a whole results directory / sweep run."""
+    """The aggregated form of a whole results directory / sweep run.
+
+    ``failed_cells`` lists cells whose record carries an error instead of a
+    result; they are *flagged*, never aggregated — averaging a traceback
+    into a latency table would silently corrupt every statistic sharing its
+    group.
+    """
 
     experiments: list[ExperimentDigest]
     cell_count: int
+    failed_cells: list[FailedCell] = field(default_factory=list)
 
     @property
     def group_count(self) -> int:
@@ -204,6 +250,8 @@ class SweepDigest:
         return {
             "cells": self.cell_count,
             "groups": self.group_count,
+            "failed": len(self.failed_cells),
+            "failed_cells": [cell.to_jsonable() for cell in self.failed_cells],
             "experiments": [digest.to_jsonable() for digest in self.experiments],
         }
 
@@ -236,6 +284,15 @@ class SweepDigest:
                     agg = scenario.metrics.get(metric)
                     row.append(agg.format() if agg is not None else "—")
                 lines.append("| " + " | ".join(row) + " |")
+        if self.failed_cells:
+            lines += ["", "## ⚠ Failed cells", ""]
+            lines.append(
+                f"{len(self.failed_cells)} cell(s) produced an error record and are "
+                "excluded from every aggregate above:"
+            )
+            lines.append("")
+            for failed in self.failed_cells:
+                lines.append(f"- {cell(failed.describe())}")
         lines.append("")
         return "\n".join(lines)
 
@@ -263,6 +320,12 @@ class SweepDigest:
             ]
             formatted.insert(1, "  ".join("-" * width for width in widths))
             blocks.append(f"\n{digest.experiment}\n" + "\n".join(formatted))
+        if self.failed_cells:
+            listing = "\n".join(f"  ! {failed.describe()}" for failed in self.failed_cells)
+            blocks.append(
+                f"\nFAILED CELLS ({len(self.failed_cells)}; excluded from all "
+                f"aggregates):\n{listing}"
+            )
         return "\n".join(blocks)
 
 
@@ -317,10 +380,16 @@ def build_digest(records: Iterable[Mapping[str, Any]]) -> SweepDigest:
     Records group by (experiment, scenario name); within each group every
     numeric leaf of ``result`` aggregates across the group's seeds.  A
     metric missing from some seeds (heterogeneous results) aggregates over
-    the seeds that do report it.
+    the seeds that do report it.  Error records (cells whose runner raised,
+    or whose distributed worker was lost for good) are split out into
+    ``failed_cells`` and never aggregated.
     """
     groups: dict[str, dict[str, list[Mapping[str, Any]]]] = {}
+    failed: list[FailedCell] = []
     for record in records:
+        if record.get("error") is not None:
+            failed.append(FailedCell.from_record(record))
+            continue
         experiment = str(record["experiment"])
         scenario = str(record["scenario"]["name"])
         groups.setdefault(experiment, {}).setdefault(scenario, []).append(record)
@@ -345,7 +414,12 @@ def build_digest(records: Iterable[Mapping[str, Any]]) -> SweepDigest:
                 ScenarioAggregate(scenario=scenario, seeds=seeds, metrics=metrics)
             )
         experiments.append(ExperimentDigest(experiment=experiment, scenarios=scenarios))
-    return SweepDigest(experiments=experiments, cell_count=cell_count)
+    failed.sort(key=lambda cell: (cell.experiment, cell.scenario, cell.seed))
+    return SweepDigest(
+        experiments=experiments,
+        cell_count=cell_count + len(failed),
+        failed_cells=failed,
+    )
 
 
 def digest_results_dir(results_dir: str | Path) -> SweepDigest:
@@ -366,6 +440,7 @@ def digest_sweep_report(report: "SweepReport") -> SweepDigest:
             "scenario": cell.scenario.to_jsonable(),
             "seed": cell.seed,
             "result": cell.result,
+            "error": cell.error,
         }
         for cell in report.cells
     ]

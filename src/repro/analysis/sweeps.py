@@ -3,7 +3,9 @@
 The paper's evaluation (like most) reports each figure at a single operating
 point — one loss process, one seed.  The sweep engine turns every registered
 experiment into a grid job: (experiment × scenario × seed) cells are fanned
-out across a ``multiprocessing`` pool, each cell gets a deterministic seed
+out through a pluggable :class:`CellBackend` — a local ``multiprocessing``
+pool by default, or :class:`repro.distrib.DistributedBackend` to serve cells
+to worker agents on other machines — each cell gets a deterministic seed
 derived from its coordinates, results are persisted as JSON under a results
 directory, and a content-hash cache makes re-running an unchanged
 (runner, scenario, seed) cell free.
@@ -27,6 +29,7 @@ import multiprocessing
 import os
 import re
 import time
+import traceback
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterable, Optional, Sequence
@@ -359,7 +362,10 @@ class SweepCell:
     """Outcome of one (experiment, scenario, seed) cell.
 
     ``result`` is always the JSON-able form (dataclasses flattened, numpy
-    unwrapped) so that fresh and cache-loaded cells look identical.
+    unwrapped) so that fresh and cache-loaded cells look identical.  A cell
+    whose runner raised (or whose distributed worker was lost for good)
+    carries the failure under ``error`` (``{"type", "message", "traceback"}``)
+    with ``result=None``.
     """
 
     experiment: str
@@ -371,6 +377,11 @@ class SweepCell:
     elapsed_s: float
     path: Path
     cache_key: str
+    error: Optional[dict] = None
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
 
 
 @dataclass
@@ -388,6 +399,11 @@ class SweepReport:
     def cached(self) -> int:
         return sum(1 for cell in self.cells if cell.from_cache)
 
+    @property
+    def failed_cells(self) -> list[SweepCell]:
+        """Cells that produced an error record instead of a result."""
+        return [cell for cell in self.cells if cell.failed]
+
     def for_experiment(self, experiment: str) -> list[SweepCell]:
         return [cell for cell in self.cells if cell.experiment == experiment]
 
@@ -396,6 +412,7 @@ class SweepReport:
             "cells": len(self.cells),
             "executed": self.executed,
             "cached": self.cached,
+            "failed": len(self.failed_cells),
             "elapsed_s": self.elapsed_s,
             "experiments": sorted({cell.experiment for cell in self.cells}),
             "scenarios": sorted({cell.scenario.name for cell in self.cells}),
@@ -450,10 +467,54 @@ def _execute_cell(payload: dict) -> dict:
     }
 
 
+def error_record(payload: dict, error: dict, elapsed_s: float = 0.0) -> dict:
+    """A cell record describing a failure instead of a result.
+
+    Shares the persisted-record shape with :func:`_execute_cell` so failed
+    cells flow through the same persistence/reporting pipeline; the cache
+    loader refuses them, so a re-run retries the cell instead of serving the
+    failure from disk.
+    """
+    return {
+        "experiment": payload["experiment"],
+        "scenario": payload["scenario"],
+        "seed": payload["seed"],
+        "cell_seed": payload["cell_seed"],
+        "cache_key": payload["cache_key"],
+        "elapsed_s": elapsed_s,
+        "result": None,
+        "error": dict(error),
+    }
+
+
+def execute_cell_record(payload: dict) -> dict:
+    """Fault-isolating cell executor: a raising runner yields an error record.
+
+    One crashing cell must not take down the whole pool (or a remote
+    worker): the exception is captured as ``{"type", "message",
+    "traceback"}`` and the sweep carries on; completed cells persist as
+    usual and the failure surfaces through ``SweepReport.failed_cells`` and
+    the report tooling.
+    """
+    started = time.perf_counter()
+    try:
+        return _execute_cell(payload)
+    except Exception as exc:  # noqa: BLE001 - the whole point is isolation
+        return error_record(
+            payload,
+            {
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "traceback": traceback.format_exc(),
+            },
+            elapsed_s=time.perf_counter() - started,
+        )
+
+
 def _execute_cell_indexed(item: tuple[int, dict]) -> tuple[int, dict]:
     """imap_unordered wrapper: carry the grid position alongside the record."""
     position, payload = item
-    return position, _execute_cell(payload)
+    return position, execute_cell_record(payload)
 
 
 def _worker_init(fingerprint: Optional[str]) -> None:
@@ -468,24 +529,96 @@ def _worker_init(fingerprint: Optional[str]) -> None:
 
 
 # ---------------------------------------------------------------------------
+# Execution backends
+# ---------------------------------------------------------------------------
+
+
+class CellBackend:
+    """Pluggable execution engine for sweep cells.
+
+    A backend receives the *non-cached* cells of a grid as ``(position,
+    payload)`` pairs (cached cells are resolved by :class:`SweepRunner`
+    before any backend sees them — they are never dispatched) and yields
+    ``(position, record)`` pairs as cells finish, in any order.  Records are
+    the JSON-able shape produced by :func:`execute_cell_record`: either a
+    result record or an error record for a cell that could not run.
+    """
+
+    def execute(self, items: list[tuple[int, dict]]) -> Iterable[tuple[int, dict]]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend resources.
+
+        :meth:`SweepRunner.run` calls this when the run ends *for any
+        reason* — including an exception before ``execute`` was ever
+        consumed.  Stateful backends (the distributed coordinator binds a
+        port and may hold connected workers from construction time) must
+        make this idempotent; the default is a no-op.
+        """
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class LocalPoolBackend(CellBackend):
+    """Today's execution path: a local ``multiprocessing`` pool.
+
+    ``processes=None`` sizes the pool to ``min(cells, cpu_count)``;
+    ``processes<=1`` runs cells inline (useful under pytest and for
+    debugging).  Cells are submitted through ``imap_unordered`` with a
+    chunk size sized to roughly four chunks per worker: large enough to
+    amortise task dispatch, small enough to keep the pool balanced when
+    cell runtimes differ.  The pool initializer ships the parent's package
+    fingerprint so no worker re-hashes the source tree.
+    """
+
+    def __init__(self, processes: Optional[int] = None) -> None:
+        self.processes = processes
+
+    def describe(self) -> str:
+        return f"local pool (processes={self.processes or 'auto'})"
+
+    def execute(self, items: list[tuple[int, dict]]) -> Iterable[tuple[int, dict]]:
+        if not items:
+            return
+        processes = self.processes
+        if processes is None:
+            processes = min(len(items), os.cpu_count() or 1)
+        if processes <= 1 or len(items) == 1:
+            for item in items:
+                yield _execute_cell_indexed(item)
+            return
+        chunksize = max(1, len(items) // (processes * 4))
+        fingerprint = _package_fingerprint()
+        with multiprocessing.Pool(
+            processes=processes, initializer=_worker_init, initargs=(fingerprint,)
+        ) as pool:
+            yield from pool.imap_unordered(_execute_cell_indexed, items, chunksize=chunksize)
+
+
+# ---------------------------------------------------------------------------
 # Runner
 # ---------------------------------------------------------------------------
 
 
 class SweepRunner:
-    """Executes a :class:`SweepGrid` across a process pool with caching.
+    """Executes a :class:`SweepGrid` through a :class:`CellBackend` with caching.
 
-    ``processes=None`` sizes the pool to ``min(cells, cpu_count)``;
-    ``processes<=1`` runs cells inline (useful under pytest and for
-    debugging).  Each cell's JSON lands at
-    ``<results_dir>/<experiment>/<scenario-slug>-seed<k>-<hash12>.json``.
+    The default backend is a :class:`LocalPoolBackend` over ``processes``
+    workers; pass ``backend=`` (for example
+    :class:`repro.distrib.DistributedBackend`, which serves cells to worker
+    agents on other machines) to execute cells elsewhere.  Each cell's JSON
+    lands at ``<results_dir>/<experiment>/<scenario-slug>-seed<k>-<hash12>.json``
+    regardless of where it ran.
 
     The cache key covers the runner's source, a fingerprint of the whole
     ``repro`` package, the scenario, and the seed, so editing shared
     simulator code (transport, emulator, codec, ...) invalidates cached
     cells automatically.  Pass ``use_cache=False`` (or delete the results
     directory) to force fresh runs regardless; results are still persisted
-    either way.
+    either way.  Error records (failed cells) are persisted but never
+    cache-loaded, so re-running a sweep retries its failures.
     """
 
     def __init__(
@@ -493,10 +626,12 @@ class SweepRunner:
         results_dir: str | Path = DEFAULT_RESULTS_DIR,
         processes: Optional[int] = None,
         use_cache: bool = True,
+        backend: Optional[CellBackend] = None,
     ) -> None:
         self.results_dir = Path(results_dir)
         self.processes = processes
         self.use_cache = use_cache
+        self.backend = backend
 
     # -- cache ----------------------------------------------------------------
 
@@ -514,11 +649,27 @@ class SweepRunner:
             return None
         if record.get("cache_key") != key:
             return None
+        if record.get("error") is not None:
+            # A persisted failure documents what happened, but is never
+            # served from cache: re-running the sweep retries the cell.
+            return None
         return record
 
     # -- execution ------------------------------------------------------------
 
     def run(self, grid: SweepGrid) -> SweepReport:
+        try:
+            return self._run(grid)
+        finally:
+            if self.backend is not None:
+                # Whatever happened above — even an exception while
+                # resolving the cache, before the backend saw a single
+                # cell — the backend must get its shutdown call (a
+                # distributed coordinator may already hold connected
+                # workers that would otherwise poll a zombie forever).
+                self.backend.close()
+
+    def _run(self, grid: SweepGrid) -> SweepReport:
         started = time.perf_counter()
         cells: dict[int, SweepCell] = {}
         pending: list[tuple[int, dict, Path]] = []
@@ -570,6 +721,7 @@ class SweepRunner:
                 elapsed_s=record["elapsed_s"],
                 path=path,
                 cache_key=record["cache_key"],
+                error=record.get("error"),
             )
 
         ordered = [cells[position] for position in sorted(cells)]
@@ -580,27 +732,14 @@ class SweepRunner:
     ) -> Iterable[tuple[int, dict]]:
         """Yield (position, record) pairs as cells finish (order not guaranteed).
 
-        Cells are submitted through ``imap_unordered`` with a chunk size
-        sized to roughly four chunks per worker: large enough to amortise
-        task dispatch, small enough to keep the pool balanced when cell
-        runtimes differ.  The pool initializer ships the parent's package
-        fingerprint so no worker re-hashes the source tree.
+        Delegates to the configured :class:`CellBackend`; the default is a
+        :class:`LocalPoolBackend` sized by ``processes``.  The backend is
+        invoked even for an empty item list (a fully cached grid): stateful
+        backends (the distributed coordinator, which may already hold
+        connected workers) need the call to shut down and release them.
         """
-        if not items:
-            return
-        processes = self.processes
-        if processes is None:
-            processes = min(len(items), os.cpu_count() or 1)
-        if processes <= 1 or len(items) == 1:
-            for item in items:
-                yield _execute_cell_indexed(item)
-            return
-        chunksize = max(1, len(items) // (processes * 4))
-        fingerprint = _package_fingerprint()
-        with multiprocessing.Pool(
-            processes=processes, initializer=_worker_init, initargs=(fingerprint,)
-        ) as pool:
-            yield from pool.imap_unordered(_execute_cell_indexed, items, chunksize=chunksize)
+        backend = self.backend if self.backend is not None else LocalPoolBackend(self.processes)
+        yield from backend.execute(items)
 
     def _persist(self, path: Path, record: dict) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -617,11 +756,19 @@ def run_sweep(
     results_dir: str | Path = DEFAULT_RESULTS_DIR,
     processes: Optional[int] = None,
     use_cache: bool = True,
+    backend: Optional[CellBackend] = None,
 ) -> SweepReport:
-    """Convenience wrapper: build the grid and run it in one call."""
+    """Convenience wrapper: build the grid and run it in one call.
+
+    ``backend`` selects where cells execute (local pool by default; a
+    :class:`repro.distrib.DistributedBackend` fans them out to worker
+    agents over the network).
+    """
     grid = SweepGrid(
         experiments=tuple(experiments),
         scenarios=tuple(scenarios if scenarios is not None else default_scenarios()),
         seeds=tuple(seeds),
     )
-    return SweepRunner(results_dir=results_dir, processes=processes, use_cache=use_cache).run(grid)
+    return SweepRunner(
+        results_dir=results_dir, processes=processes, use_cache=use_cache, backend=backend
+    ).run(grid)

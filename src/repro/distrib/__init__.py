@@ -1,0 +1,55 @@
+"""Distributed sweep dispatcher: multi-machine cell execution.
+
+The sweep engine (:mod:`repro.analysis.sweeps`) already has everything a
+distributed executor needs — deterministic per-cell seeds, content-hash
+cache keys, and JSON-record streaming.  This package adds the missing
+transport: a coordinator that serves sweep cells over a length-prefixed
+JSON socket protocol (:mod:`repro.distrib.protocol`), worker agents that
+pull cells, execute them through the existing cell machinery and stream
+records back (:mod:`repro.distrib.worker`), and a
+:class:`~repro.distrib.backend.DistributedBackend` that plugs the pair
+into :class:`~repro.analysis.sweeps.SweepRunner` as a drop-in
+:class:`~repro.analysis.sweeps.CellBackend`.
+
+Start workers with::
+
+    python -m repro.distrib.worker --connect HOST:PORT      # pull from a coordinator
+    python -m repro.distrib.worker --listen PORT            # persistent agent
+
+and sweep through them with ``examples/sweep_scenarios.py --serve`` /
+``--workers`` or programmatically via ``run_sweep(..., backend=DistributedBackend(...))``.
+"""
+
+from .backend import DistributedBackend
+from .coordinator import CoordinatorStats, SweepCoordinator
+from .protocol import (
+    PROTOCOL_VERSION,
+    MessageChannel,
+    ProtocolError,
+    recv_message,
+    send_message,
+)
+
+
+def __getattr__(name: str):
+    # Lazy so that ``python -m repro.distrib.worker`` does not import the
+    # worker module twice (once via this package, once as ``__main__``),
+    # which would trip runpy's double-import warning.
+    if name in ("WorkerOutcome", "run_worker"):
+        from . import worker
+
+        return getattr(worker, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "CoordinatorStats",
+    "DistributedBackend",
+    "MessageChannel",
+    "ProtocolError",
+    "SweepCoordinator",
+    "WorkerOutcome",
+    "recv_message",
+    "run_worker",
+    "send_message",
+]

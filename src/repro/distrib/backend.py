@@ -1,0 +1,121 @@
+"""``DistributedBackend``: plug the dispatcher into ``SweepRunner``.
+
+The backend owns one :class:`~repro.distrib.coordinator.SweepCoordinator`
+and adapts it to the :class:`~repro.analysis.sweeps.CellBackend` contract:
+``execute(items)`` registers the grid's non-cached cells as tasks, serves
+them to workers, and yields ``(position, record)`` pairs back to the runner
+as they stream in — the runner persists them through the exact same
+``_persist``/results-dir format as a local sweep, so caching and
+``repro.analysis.report`` work unchanged.
+
+Two deployment shapes:
+
+* ``DistributedBackend(listen=("0.0.0.0", 7071))`` — bind a port and let
+  workers dial in (``python -m repro.distrib.worker --connect host:7071``).
+  The port is bound at construction, so ``backend.address`` is known (and
+  printable) before the sweep starts — ephemeral ports work for tests.
+* ``DistributedBackend(workers=["hostA:7072", "hostB:7072"])`` — dial out
+  to persistent worker agents (``python -m repro.distrib.worker --listen
+  7072``); both shapes can be combined.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Union
+
+from ..analysis.sweeps import CellBackend
+from .coordinator import (
+    DEFAULT_HEARTBEAT_TIMEOUT_S,
+    DEFAULT_MAX_REQUEUES,
+    SweepCoordinator,
+)
+from .protocol import parse_address
+
+AddressLike = Union[str, tuple[str, int]]
+
+
+def _as_address(value: AddressLike) -> tuple[str, int]:
+    if isinstance(value, str):
+        return parse_address(value)
+    host, port = value
+    return str(host), int(port)
+
+
+class DistributedBackend(CellBackend):
+    """Execute sweep cells on remote workers behind the dispatcher protocol.
+
+    A backend instance serves exactly one sweep (its coordinator's task
+    state is single-use); construct a fresh one per ``SweepRunner.run``.
+    Cached cells never reach ``execute`` at all — the runner resolves them
+    first — so ``backend.stats.dispatched`` counts genuinely executed cells.
+
+    ``startup_timeout_s`` (default 120) aborts the sweep after that long
+    with **zero connected workers** and cells outstanding — whether nobody
+    ever dialed in or the last worker departed mid-sweep (a reconnecting
+    worker resets the window); pass ``None`` to wait indefinitely.
+    """
+
+    def __init__(
+        self,
+        listen: Optional[AddressLike] = None,
+        workers: Optional[Sequence[AddressLike]] = None,
+        fingerprint: Optional[str] = None,
+        heartbeat_timeout_s: float = DEFAULT_HEARTBEAT_TIMEOUT_S,
+        max_requeues: int = DEFAULT_MAX_REQUEUES,
+        startup_timeout_s: Optional[float] = 120.0,
+    ) -> None:
+        if listen is None and not workers:
+            raise ValueError("provide listen= and/or workers= so cells have somewhere to go")
+        self.coordinator = SweepCoordinator(
+            fingerprint=fingerprint,
+            heartbeat_timeout_s=heartbeat_timeout_s,
+            max_requeues=max_requeues,
+        )
+        self.startup_timeout_s = startup_timeout_s
+        self._workers = [_as_address(worker) for worker in workers or ()]
+        self._used = False
+        self.address: Optional[tuple[str, int]] = None
+        if listen is not None:
+            host, port = _as_address(listen)
+            self.address = self.coordinator.bind(host, port)
+
+    @property
+    def stats(self):
+        return self.coordinator.stats
+
+    def close(self) -> None:
+        """Shut the coordinator down (idempotent).
+
+        ``SweepRunner.run`` calls this even when the run dies before
+        ``execute`` is consumed, so the eagerly-bound port, accept thread
+        and any already-connected workers are always released.
+        """
+        self.coordinator.close()
+
+    def describe(self) -> str:
+        parts = []
+        if self.address is not None:
+            parts.append(f"serving on {self.address[0]}:{self.address[1]}")
+        if self._workers:
+            parts.append(
+                "dialing " + ", ".join(f"{host}:{port}" for host, port in self._workers)
+            )
+        return f"distributed ({'; '.join(parts)})"
+
+    def execute(self, items: list[tuple[int, dict]]) -> Iterable[tuple[int, dict]]:
+        if self._used:
+            raise RuntimeError("DistributedBackend serves exactly one sweep; build a new one")
+        self._used = True
+        if not items:
+            self.coordinator.close()
+            return
+        self.coordinator.submit([(str(position), payload) for position, payload in items])
+        if self._workers:
+            self.coordinator.connect_workers(self._workers)
+        try:
+            for task_id, record in self.coordinator.results(
+                startup_timeout_s=self.startup_timeout_s
+            ):
+                yield int(task_id), record
+        finally:
+            self.coordinator.close()

@@ -1,0 +1,417 @@
+"""The sweep coordinator: serves cells to workers, survives their deaths.
+
+The coordinator owns the authoritative task state of one distributed sweep:
+a queue of pending cells, the set of cells in flight (and on which worker),
+and a stream of finished records.  Workers are untrusted to stay alive —
+any connection that goes silent for longer than the heartbeat timeout, or
+drops outright, has its in-flight cells requeued with bounded retries;
+cells whose retries are exhausted resolve to an error record so the sweep
+always completes with every cell accounted for.
+
+Scheduling is cache-aware by construction: :class:`~repro.analysis.sweeps.
+SweepRunner` resolves cached cells before any backend sees the grid, so a
+cell reaching this coordinator is guaranteed to need execution — cached
+cells are never dispatched, and ``stats.dispatched`` counts real work only.
+
+The coordinator is deliberately agnostic about connection direction: it can
+accept workers on a listening socket (:meth:`bind`, workers run
+``python -m repro.distrib.worker --connect``) and/or dial out to persistent
+worker agents (:meth:`connect_workers`, agents run ``--listen``); both paths
+converge on the same per-connection session.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+from ..analysis.sweeps import _package_fingerprint, error_record
+from .protocol import PROTOCOL_VERSION, MessageChannel, ProtocolError
+
+#: How often an idle worker polls for new work (the coordinator's ``wait``
+#: delay).  Far below any sane heartbeat timeout, so an idle worker is never
+#: mistaken for a dead one.
+DEFAULT_WAIT_POLL_S = 0.2
+
+#: Silence threshold after which a worker is presumed dead.  Workers
+#: heartbeat every couple of seconds even while executing, so only a hung
+#: or killed worker ever crosses it.
+DEFAULT_HEARTBEAT_TIMEOUT_S = 10.0
+
+#: How many times a cell is requeued after losing its worker before it
+#: resolves to an error record.
+DEFAULT_MAX_REQUEUES = 2
+
+
+@dataclass
+class CoordinatorStats:
+    """Counters exposed for tests, logs and the CLI summary."""
+
+    dispatched: int = 0
+    completed: int = 0
+    failed: int = 0
+    requeued: int = 0
+    workers_connected: int = 0
+    workers_rejected: int = 0
+    workers_lost: int = 0
+    connect_failures: int = 0
+
+
+@dataclass
+class _Connection:
+    """Per-connection mutable state shared with the coordinator."""
+
+    channel: MessageChannel
+    name: str
+    inflight: set[str] = field(default_factory=set)
+
+
+class SweepCoordinator:
+    """Serves sweep cells over the dispatcher protocol.
+
+    Lifecycle: construct, :meth:`bind` (and/or keep worker addresses for
+    :meth:`connect_workers`), :meth:`submit` the cells, iterate
+    :meth:`results` until every cell has resolved, then :meth:`close`.
+    A coordinator serves exactly one sweep.
+    """
+
+    def __init__(
+        self,
+        fingerprint: Optional[str] = None,
+        heartbeat_timeout_s: float = DEFAULT_HEARTBEAT_TIMEOUT_S,
+        max_requeues: int = DEFAULT_MAX_REQUEUES,
+        wait_poll_s: float = DEFAULT_WAIT_POLL_S,
+    ) -> None:
+        self.fingerprint = fingerprint if fingerprint is not None else _package_fingerprint()
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.max_requeues = max_requeues
+        self.wait_poll_s = wait_poll_s
+        self.stats = CoordinatorStats()
+        self.address: Optional[tuple[str, int]] = None
+
+        self._lock = threading.Lock()
+        self._tasks: dict[str, dict] = {}
+        self._pending: deque[str] = deque()
+        self._unresolved: set[str] = set()
+        self._requeues: dict[str, int] = {}
+        self._out: "queue.Queue[tuple[str, dict]]" = queue.Queue()
+        self._submitted = False
+        self._closed = False
+        self._server: Optional[socket.socket] = None
+        self._threads: list[threading.Thread] = []
+        self._connections: list[_Connection] = []
+        self._live_workers = 0
+        # Instant the live-worker count last hit zero; drives the
+        # no-workers timeout in :meth:`results`.
+        self._workers_gone_since = time.monotonic()
+
+    # -- wiring ------------------------------------------------------------
+
+    def bind(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        """Listen for workers on ``(host, port)``; returns the bound address.
+
+        Port 0 picks an ephemeral port (tests); the accept loop runs on a
+        daemon thread until :meth:`close`.
+        """
+        if self._server is not None:
+            raise RuntimeError("coordinator is already listening")
+        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        server.bind((host, port))
+        server.listen()
+        server.settimeout(0.2)
+        self._server = server
+        self.address = server.getsockname()[:2]
+        self._spawn(self._accept_loop, name="distrib-accept")
+        return self.address
+
+    def connect_workers(self, addresses: Sequence[tuple[str, int]]) -> None:
+        """Dial out to persistent worker agents (``worker --listen``).
+
+        Each dial runs on its own thread so one unreachable agent does not
+        stall the others; failures only count in ``stats.connect_failures``
+        (the sweep proceeds on whatever workers remain).
+        """
+        for address in addresses:
+            self._spawn(self._dial, address, name=f"distrib-dial-{address[0]}:{address[1]}")
+
+    def _dial(self, address: tuple[str, int]) -> None:
+        try:
+            sock = socket.create_connection(address, timeout=self.heartbeat_timeout_s)
+        except OSError:
+            with self._lock:
+                self.stats.connect_failures += 1
+            return
+        self._serve_connection(sock, address)
+
+    def _spawn(self, target, *args, name: str) -> None:
+        thread = threading.Thread(target=target, args=args, name=name, daemon=True)
+        self._threads.append(thread)
+        thread.start()
+
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                conn, addr = self._server.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # closed
+            self._spawn(self._serve_connection, conn, addr, name=f"distrib-conn-{addr}")
+
+    # -- task state --------------------------------------------------------
+
+    def submit(self, tasks: Sequence[tuple[str, dict]]) -> None:
+        """Register the sweep's cells as ``(task_id, payload)`` pairs."""
+        with self._lock:
+            if self._submitted:
+                raise RuntimeError("a coordinator serves exactly one sweep")
+            self._submitted = True
+            for task_id, payload in tasks:
+                self._tasks[task_id] = payload
+                self._pending.append(task_id)
+                self._unresolved.add(task_id)
+
+    def _next_action(self, connection: _Connection) -> tuple[str, Optional[str], Optional[dict]]:
+        with self._lock:
+            if not self._submitted:
+                if self._closed:
+                    # Shut down without a sweep (e.g. a fully cached grid):
+                    # release polling workers cleanly.
+                    return "done", None, None
+                # Workers may connect before the sweep registers its cells
+                # (the backend binds its port eagerly); hold them instead of
+                # telling them the sweep is over before it began.
+                return "wait", None, None
+            if self._pending:
+                task_id = self._pending.popleft()
+                connection.inflight.add(task_id)
+                self.stats.dispatched += 1
+                return "task", task_id, self._tasks[task_id]
+            if self._unresolved:
+                return "wait", None, None
+            return "done", None, None
+
+    def _resolve(self, task_id: str, record: dict, connection: Optional[_Connection]) -> None:
+        with self._lock:
+            if connection is not None:
+                connection.inflight.discard(task_id)
+            if task_id not in self._unresolved:
+                return  # duplicate: a presumed-dead worker finished after requeue
+            self._unresolved.discard(task_id)
+            self.stats.completed += 1
+            if record.get("error") is not None:
+                self.stats.failed += 1
+        self._out.put((task_id, record))
+
+    def _requeue_inflight(self, connection: _Connection, reason: str, penalize: bool = True) -> None:
+        """Put a lost worker's cells back in the queue (bounded retries)."""
+        exhausted: list[tuple[str, dict]] = []
+        with self._lock:
+            for task_id in sorted(connection.inflight):
+                if task_id not in self._unresolved:
+                    continue
+                attempts = self._requeues.get(task_id, 0) + (1 if penalize else 0)
+                self._requeues[task_id] = attempts
+                if attempts > self.max_requeues:
+                    exhausted.append((task_id, self._tasks[task_id]))
+                else:
+                    # Front of the queue: a requeued cell was already paid
+                    # for once, so it should not also wait behind the tail.
+                    self._pending.appendleft(task_id)
+                    self.stats.requeued += 1
+            connection.inflight.clear()
+        for task_id, payload in exhausted:
+            self._resolve(
+                task_id,
+                error_record(
+                    payload,
+                    {
+                        "type": "WorkerLost",
+                        "message": (
+                            f"worker {connection.name} lost ({reason}); "
+                            f"giving up after {self.max_requeues} requeues"
+                        ),
+                        "traceback": "",
+                    },
+                ),
+                connection=None,
+            )
+
+    # -- per-connection session --------------------------------------------
+
+    def _serve_connection(self, sock: socket.socket, addr) -> None:
+        channel = MessageChannel(sock)
+        connection = _Connection(channel=channel, name=f"{addr[0]}:{addr[1]}")
+        registered = False
+        try:
+            sock.settimeout(self.heartbeat_timeout_s)
+            channel.send(
+                "hello",
+                role="coordinator",
+                protocol=PROTOCOL_VERSION,
+                fingerprint=self.fingerprint,
+            )
+            if not self._handshake(channel, connection):
+                return
+            with self._lock:
+                self.stats.workers_connected += 1
+                self._live_workers += 1
+                registered = True
+                self._connections.append(connection)
+            self._session_loop(channel, connection)
+        except (OSError, ProtocolError, TimeoutError) as exc:
+            if connection.inflight:
+                with self._lock:
+                    self.stats.workers_lost += 1
+                self._requeue_inflight(connection, f"{type(exc).__name__}: {exc}")
+        finally:
+            if registered:
+                with self._lock:
+                    self._live_workers -= 1
+                    if self._live_workers == 0:
+                        self._workers_gone_since = time.monotonic()
+            channel.close()
+
+    def _handshake(self, channel: MessageChannel, connection: _Connection) -> bool:
+        message = channel.recv()
+        if message is None or message.get("type") != "hello" or message.get("role") != "worker":
+            return False
+        if message.get("worker"):
+            connection.name = str(message["worker"])
+        reason = None
+        if message.get("protocol") != PROTOCOL_VERSION:
+            reason = (
+                f"protocol version mismatch: coordinator speaks {PROTOCOL_VERSION}, "
+                f"worker speaks {message.get('protocol')}"
+            )
+        elif message.get("fingerprint") != self.fingerprint:
+            # The cell cache key folds in this fingerprint; a worker running
+            # a different source tree would compute *different* results for
+            # the same cache key, silently corrupting the results directory.
+            reason = (
+                "package fingerprint mismatch: the worker's repro source tree "
+                "differs from the coordinator's — update the worker's checkout"
+            )
+        if reason is not None:
+            with self._lock:
+                self.stats.workers_rejected += 1
+            channel.send("reject", reason=reason)
+            return False
+        channel.send("welcome")
+        return True
+
+    def _session_loop(self, channel: MessageChannel, connection: _Connection) -> None:
+        while True:
+            try:
+                message = channel.recv()
+            except (TimeoutError, socket.timeout):
+                with self._lock:
+                    self.stats.workers_lost += 1
+                self._requeue_inflight(
+                    connection, f"silent for {self.heartbeat_timeout_s:g}s (presumed dead)"
+                )
+                return
+            if message is None:  # EOF
+                if connection.inflight:
+                    with self._lock:
+                        self.stats.workers_lost += 1
+                    self._requeue_inflight(connection, "connection closed")
+                return
+            kind = message.get("type")
+            if kind == "heartbeat":
+                continue
+            if kind == "bye":
+                # Graceful departure; anything still in flight (unexpected)
+                # goes back to the queue without burning a retry.
+                self._requeue_inflight(connection, "worker said bye", penalize=False)
+                return
+            if kind == "next":
+                action, task_id, payload = self._next_action(connection)
+                if action == "task":
+                    channel.send("task", task_id=task_id, payload=payload)
+                elif action == "wait":
+                    channel.send("wait", seconds=self.wait_poll_s)
+                else:
+                    channel.send("done")
+                    return
+            elif kind == "result":
+                record = message.get("record")
+                task_id = message.get("task_id")
+                if isinstance(task_id, str) and isinstance(record, dict):
+                    self._resolve(task_id, record, connection)
+                else:
+                    raise ProtocolError("malformed result message")
+            # Unknown message types are ignored (forward compatibility).
+
+    # -- consuming results -------------------------------------------------
+
+    def results(self, startup_timeout_s: Optional[float] = None) -> Iterator[tuple[str, dict]]:
+        """Yield ``(task_id, record)`` as cells resolve, until all have.
+
+        ``startup_timeout_s`` bounds how long the sweep tolerates having
+        **zero connected workers** while cells are outstanding — both at
+        startup (nobody ever dialed in) and mid-sweep (the last worker
+        departed, e.g. gracefully via ``--max-cells``, leaving pending cells
+        that only a worker could resolve).  When the window expires a
+        ``RuntimeError`` is raised instead of waiting forever; a worker
+        (re)connecting resets it.  While at least one worker is connected
+        the sweep waits indefinitely: every dispatched cell retains a path
+        to resolution through requeue-or-error.
+        """
+        with self._lock:
+            total = len(self._tasks)
+            if self._live_workers == 0:
+                # Start the no-workers clock at sweep start, not at bind
+                # time (the backend binds eagerly, possibly much earlier).
+                self._workers_gone_since = time.monotonic()
+        yielded = 0
+        while yielded < total:
+            try:
+                item = self._out.get(timeout=0.1)
+            except queue.Empty:
+                if self._closed:
+                    raise RuntimeError("coordinator closed with cells outstanding")
+                if startup_timeout_s is not None:
+                    with self._lock:
+                        live = self._live_workers
+                        gone_for = time.monotonic() - self._workers_gone_since
+                    if live == 0 and gone_for > startup_timeout_s:
+                        raise RuntimeError(
+                            f"no worker connected for {startup_timeout_s:g}s with "
+                            f"{total - yielded} cell(s) outstanding "
+                            f"(serving on {self.address})"
+                        )
+                continue
+            yielded += 1
+            yield item
+
+    def close(self, linger_s: float = 1.0) -> None:
+        """Shut the coordinator down.
+
+        Waits up to ``linger_s`` for connection threads to finish serving
+        ``done`` to idle workers (they poll within ``wait_poll_s``), then
+        force-closes whatever remains.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._server is not None:
+            try:
+                self._server.close()
+            except OSError:
+                pass
+        deadline = time.monotonic() + linger_s
+        for thread in self._threads:
+            remaining = deadline - time.monotonic()
+            if remaining > 0 and thread is not threading.current_thread():
+                thread.join(timeout=remaining)
+        with self._lock:
+            connections = list(self._connections)
+        for connection in connections:
+            connection.channel.close()

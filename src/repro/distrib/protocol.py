@@ -1,0 +1,154 @@
+"""Length-prefixed JSON message framing for the distributed dispatcher.
+
+Every message on the wire is a 4-byte big-endian length followed by that
+many bytes of UTF-8 JSON encoding one object with at least a ``"type"``
+key.  The framing is symmetric — either side may speak first — so the same
+session logic runs whether the coordinator accepted the worker's connection
+or dialed out to a persistent worker agent.
+
+Message vocabulary (all extra keys are ignored by the receiver, so the
+protocol can grow backwards-compatibly):
+
+=================  =========  =================================================
+type               direction  fields
+=================  =========  =================================================
+``hello``          both       ``role`` (``"coordinator"``/``"worker"``),
+                              ``protocol`` (int), ``fingerprint`` (repro source
+                              tree hash), ``worker`` (worker name, worker side)
+``welcome``        coord →    handshake accepted
+``reject``         both       ``reason`` — handshake refused, connection closes
+``next``           → coord    the worker is idle and wants a cell
+``task``           coord →    ``task_id``, ``payload`` (a sweep cell payload)
+``wait``           coord →    ``seconds`` — nothing runnable right now, poll
+                              again after the delay
+``done``           coord →    the sweep is complete; the worker may disconnect
+``result``         → coord    ``task_id``, ``record`` (result *or* error record)
+``heartbeat``      → coord    liveness while executing; carries nothing
+``bye``            → coord    graceful disconnect (e.g. ``--max-cells`` reached)
+=================  =========  =================================================
+
+The coordinator treats *any* received message as proof of liveness; a
+worker that stays silent longer than the heartbeat timeout is presumed
+dead and its in-flight cells are requeued.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import threading
+from typing import Any, Optional
+
+#: Bumped whenever the message vocabulary changes incompatibly; both sides
+#: refuse to pair with a different version during the handshake.
+PROTOCOL_VERSION = 1
+
+_HEADER = struct.Struct(">I")
+
+#: Upper bound on one frame.  Sweep cell records are a few KB to a few MB;
+#: anything larger is a corrupt frame or a foreign client, and reading its
+#: claimed length would balloon memory.
+MAX_MESSAGE_BYTES = 64 * 1024 * 1024
+
+
+class ProtocolError(RuntimeError):
+    """A peer sent bytes that do not parse as a protocol message."""
+
+
+def encode_message(message: dict) -> bytes:
+    body = json.dumps(message, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    if len(body) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(f"message of {len(body)} bytes exceeds frame limit")
+    return _HEADER.pack(len(body)) + body
+
+
+def send_message(sock: socket.socket, message: dict) -> None:
+    """Write one framed message (callers serialise concurrent senders)."""
+    sock.sendall(encode_message(message))
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    """Read exactly ``count`` bytes; None on a clean EOF at a frame boundary."""
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == count:
+                return None
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket) -> Optional[dict]:
+    """Read one framed message; None when the peer closed the connection."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_MESSAGE_BYTES:
+        raise ProtocolError(f"peer announced a {length}-byte frame (limit {MAX_MESSAGE_BYTES})")
+    body = _recv_exact(sock, length) if length else b""
+    if length and body is None:  # pragma: no cover - _recv_exact raises instead
+        raise ProtocolError("connection closed mid-frame")
+    try:
+        message = json.loads(body.decode("utf-8")) if length else {}
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame is not valid JSON: {exc}") from exc
+    if not isinstance(message, dict) or "type" not in message:
+        raise ProtocolError("frame is not a typed message object")
+    return message
+
+
+class MessageChannel:
+    """Thread-safe framed messaging over one connected socket.
+
+    Sending is serialised with a lock because a worker writes from two
+    threads (the session loop and the heartbeat thread); receiving is only
+    ever done from one thread per side, so it takes no lock.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self._send_lock = threading.Lock()
+        self._closed = False
+
+    def send(self, type: str, **fields: Any) -> None:
+        message = {"type": type, **fields}
+        with self._send_lock:
+            send_message(self.sock, message)
+
+    def recv(self) -> Optional[dict]:
+        return recv_message(self.sock)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+def parse_address(text: str, default_host: str = "127.0.0.1") -> tuple[str, int]:
+    """Parse ``HOST:PORT`` (or bare ``PORT``) into an address tuple."""
+    host, sep, port = text.rpartition(":")
+    if not sep:
+        host, port = default_host, text
+    host = host or default_host
+    try:
+        return host, int(port)
+    except ValueError as exc:
+        raise ValueError(f"invalid address {text!r}: expected HOST:PORT") from exc

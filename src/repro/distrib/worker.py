@@ -1,0 +1,299 @@
+"""Worker agent: pulls sweep cells from a coordinator and executes them.
+
+Run one per machine (or per core) against a coordinator started by
+``examples/sweep_scenarios.py --serve`` or a
+:class:`~repro.distrib.backend.DistributedBackend`::
+
+    python -m repro.distrib.worker --connect HOST:PORT
+
+or as a persistent agent the coordinator dials out to (``--workers``)::
+
+    python -m repro.distrib.worker --listen PORT
+
+Before accepting any work the worker verifies the coordinator's package
+fingerprint against its own source tree: sweep cache keys fold in that
+fingerprint, so a worker running different code would poison the results
+directory with records computed by a different simulator.  Cells execute
+through the existing fault-isolated cell machinery
+(:func:`repro.analysis.sweeps.execute_cell_record`), so a raising runner
+returns an error record rather than killing the worker; a heartbeat thread
+keeps the connection visibly alive during long cells.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..analysis.sweeps import _package_fingerprint, execute_cell_record
+from .protocol import PROTOCOL_VERSION, MessageChannel, ProtocolError, parse_address
+
+#: How often the heartbeat thread proves liveness to the coordinator.  Must
+#: stay well below the coordinator's heartbeat timeout.
+DEFAULT_HEARTBEAT_INTERVAL_S = 2.0
+
+#: How long a freshly started worker keeps retrying the initial connect —
+#: lets workers start before (or while) the coordinator binds its port.
+DEFAULT_CONNECT_TIMEOUT_S = 30.0
+
+#: Socket receive timeout for coordinator responses.  The coordinator
+#: answers ``next`` immediately (task/wait/done), so silence this long
+#: means it is gone.
+DEFAULT_IO_TIMEOUT_S = 120.0
+
+
+@dataclass
+class WorkerOutcome:
+    """How one worker session ended.
+
+    ``status`` is one of ``done`` (coordinator said the sweep is complete,
+    or ``max_cells`` was reached), ``disconnected`` (the coordinator went
+    away — normal when it tears down after the sweep), ``rejected``
+    (coordinator refused the handshake), ``fingerprint_mismatch`` (the
+    worker refused the coordinator's tree), ``crashed`` (the executor
+    itself raised — the connection is dropped so the cell is requeued
+    elsewhere) or ``connect_failed``.
+    """
+
+    status: str
+    completed: int = 0
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("done", "disconnected")
+
+
+def _default_worker_name() -> str:
+    return f"{socket.gethostname()}:{os.getpid()}"
+
+
+def _run_session(
+    channel: MessageChannel,
+    fingerprint: str,
+    worker_name: str,
+    executor: Callable[[dict], dict],
+    heartbeat_interval_s: float,
+    max_cells: Optional[int],
+) -> WorkerOutcome:
+    """Drive one coordinator connection from handshake to completion."""
+    hello = channel.recv()
+    if (
+        hello is None
+        or hello.get("type") != "hello"
+        or hello.get("role") != "coordinator"
+    ):
+        return WorkerOutcome("disconnected", detail="no coordinator hello")
+    if hello.get("protocol") != PROTOCOL_VERSION:
+        channel.send(
+            "reject",
+            reason=f"protocol version mismatch ({hello.get('protocol')} != {PROTOCOL_VERSION})",
+        )
+        return WorkerOutcome("rejected", detail="protocol version mismatch")
+    if hello.get("fingerprint") != fingerprint:
+        channel.send(
+            "reject",
+            reason="package fingerprint mismatch: this worker runs a different repro tree",
+        )
+        return WorkerOutcome(
+            "fingerprint_mismatch",
+            detail="coordinator's repro source tree differs from this worker's",
+        )
+    channel.send(
+        "hello",
+        role="worker",
+        protocol=PROTOCOL_VERSION,
+        fingerprint=fingerprint,
+        worker=worker_name,
+    )
+    reply = channel.recv()
+    if reply is None:
+        return WorkerOutcome("disconnected", detail="coordinator closed during handshake")
+    if reply.get("type") == "reject":
+        return WorkerOutcome("rejected", detail=str(reply.get("reason", "")))
+    if reply.get("type") != "welcome":
+        return WorkerOutcome("disconnected", detail=f"unexpected reply {reply.get('type')!r}")
+
+    stop_heartbeat = threading.Event()
+
+    def _heartbeat() -> None:
+        while not stop_heartbeat.wait(heartbeat_interval_s):
+            try:
+                channel.send("heartbeat")
+            except OSError:
+                return
+
+    threading.Thread(target=_heartbeat, name="distrib-heartbeat", daemon=True).start()
+    completed = 0
+    try:
+        while True:
+            channel.send("next")
+            message = channel.recv()
+            if message is None:
+                return WorkerOutcome("disconnected", completed, "coordinator went away")
+            kind = message.get("type")
+            if kind == "done":
+                return WorkerOutcome("done", completed)
+            if kind == "wait":
+                time.sleep(float(message.get("seconds", 0.2)))
+                continue
+            if kind != "task":
+                continue  # unknown messages are ignored (forward compatibility)
+            try:
+                record = executor(message["payload"])
+            except Exception as exc:  # noqa: BLE001 - executor is fault-isolated;
+                # anything escaping it means this worker cannot report a
+                # record at all, so drop the connection: the coordinator
+                # requeues the cell on a healthy worker.
+                return WorkerOutcome("crashed", completed, f"{type(exc).__name__}: {exc}")
+            channel.send("result", task_id=message["task_id"], record=record)
+            completed += 1
+            if max_cells is not None and completed >= max_cells:
+                channel.send("bye")
+                return WorkerOutcome("done", completed, f"max_cells={max_cells} reached")
+    except (OSError, ProtocolError, TimeoutError) as exc:
+        return WorkerOutcome("disconnected", completed, f"{type(exc).__name__}: {exc}")
+    finally:
+        stop_heartbeat.set()
+
+
+def run_worker(
+    connect: Optional[tuple[str, int]] = None,
+    listen: Optional[tuple[str, int]] = None,
+    fingerprint: Optional[str] = None,
+    worker_name: Optional[str] = None,
+    executor: Optional[Callable[[dict], dict]] = None,
+    heartbeat_interval_s: float = DEFAULT_HEARTBEAT_INTERVAL_S,
+    connect_timeout_s: float = DEFAULT_CONNECT_TIMEOUT_S,
+    io_timeout_s: float = DEFAULT_IO_TIMEOUT_S,
+    max_cells: Optional[int] = None,
+) -> WorkerOutcome:
+    """Run one worker session (the in-process entry point; the CLI wraps it).
+
+    Exactly one of ``connect`` (dial the coordinator, retrying until
+    ``connect_timeout_s``) or ``listen`` (accept a single coordinator
+    connection, e.g. from a dial-out ``DistributedBackend``) must be given.
+    ``fingerprint`` and ``executor`` exist for tests; they default to the
+    real source-tree fingerprint and the fault-isolated cell executor.
+    """
+    if (connect is None) == (listen is None):
+        raise ValueError("exactly one of connect= or listen= is required")
+    fingerprint = fingerprint if fingerprint is not None else _package_fingerprint()
+    worker_name = worker_name or _default_worker_name()
+    executor = executor or execute_cell_record
+
+    if connect is not None:
+        deadline = time.monotonic() + connect_timeout_s
+        while True:
+            try:
+                sock = socket.create_connection(connect, timeout=2.0)
+                break
+            except OSError as exc:
+                if time.monotonic() >= deadline:
+                    return WorkerOutcome(
+                        "connect_failed", detail=f"{connect[0]}:{connect[1]}: {exc}"
+                    )
+                time.sleep(0.2)
+    else:
+        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            server.bind(listen)
+            server.listen(1)
+            server.settimeout(connect_timeout_s)
+            try:
+                sock, _ = server.accept()
+            except (TimeoutError, socket.timeout):
+                return WorkerOutcome("connect_failed", detail="no coordinator dialed in")
+        finally:
+            server.close()
+
+    sock.settimeout(io_timeout_s)
+    channel = MessageChannel(sock)
+    try:
+        return _run_session(
+            channel, fingerprint, worker_name, executor, heartbeat_interval_s, max_cells
+        )
+    except (OSError, ProtocolError, TimeoutError) as exc:
+        # The session loop handles its own I/O errors; this catches the
+        # coordinator vanishing *mid-handshake* (e.g. it aborted before the
+        # sweep started), which must read as a disconnect, not a crash.
+        return WorkerOutcome("disconnected", detail=f"{type(exc).__name__}: {exc}")
+    finally:
+        channel.close()
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Sweep worker agent: pulls cells from a coordinator and executes them."
+    )
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        help="dial a coordinator (examples/sweep_scenarios.py --serve)",
+    )
+    mode.add_argument(
+        "--listen",
+        metavar="[HOST:]PORT",
+        help="run as a persistent agent; coordinators dial in (--workers)",
+    )
+    parser.add_argument(
+        "--max-cells", type=int, default=None, help="disconnect after this many cells"
+    )
+    parser.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=DEFAULT_CONNECT_TIMEOUT_S,
+        help="seconds to keep retrying the initial connect (or awaiting a dial-in)",
+    )
+    parser.add_argument(
+        "--heartbeat",
+        type=float,
+        default=DEFAULT_HEARTBEAT_INTERVAL_S,
+        help="heartbeat interval in seconds",
+    )
+    parser.add_argument("--name", default=None, help="worker name shown to the coordinator")
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="with --listen: exit after serving one coordinator instead of looping",
+    )
+    args = parser.parse_args(argv)
+
+    common = dict(
+        worker_name=args.name,
+        heartbeat_interval_s=args.heartbeat,
+        connect_timeout_s=args.connect_timeout,
+        max_cells=args.max_cells,
+    )
+    if args.connect is not None:
+        outcome = run_worker(connect=parse_address(args.connect), **common)
+        print(
+            f"worker {outcome.status}: {outcome.completed} cells"
+            + (f" ({outcome.detail})" if outcome.detail else "")
+        )
+        return 0 if outcome.ok else 2
+
+    # A persistent agent must be reachable from other machines, so the bare
+    # ``--listen PORT`` form binds every interface (unlike --connect, where
+    # a bare port means the local coordinator).
+    address = parse_address(args.listen, default_host="0.0.0.0")
+    while True:
+        outcome = run_worker(listen=address, **common)
+        print(
+            f"worker {outcome.status}: {outcome.completed} cells"
+            + (f" ({outcome.detail})" if outcome.detail else "")
+        )
+        if args.once:
+            return 0 if outcome.ok else 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -92,6 +92,21 @@ class RetransmissionBatch:
 
 
 @dataclass(slots=True)
+class ParityBurst:
+    """One frame's FEC parity packets, sent as a batched burst.
+
+    Parity packets are few (one per ``group_size`` data packets) and carry
+    per-group metadata the decoder needs, so they are materialised up front
+    and the delivery callback simply indexes into them.  Parity bursts only
+    ever travel through the per-packet ``deliver_single`` mode (FEC
+    sessions), so unlike the other burst contexts this one needs no
+    ``packet_size`` accessor for the run-granular delivery machinery.
+    """
+
+    packets: list[Packet]
+
+
+@dataclass(slots=True)
 class FrameDeliveryEvent:
     """Emitted by the receiver when a frame completes reassembly."""
 
@@ -134,6 +149,12 @@ class VideoSender:
         self._lookup_memo: Optional[BurstContext] = None
         self._last_retransmit_time: dict[int, float] = {}
         self._fec_encoder = FecEncoder(config.fec) if config.fec else None
+        # Parity burst sizes depend only on the frame's byte count (given
+        # the fixed MTU and group size), so fixed-bitrate senders reuse one
+        # array — which also keeps its identity stable for the path's
+        # per-burst memo.
+        self._parity_sizes_bytes = -1
+        self._parity_sizes: Optional[np.ndarray] = None
         self.bytes_sent = 0
         self.packets_sent = 0
         self.retransmissions_sent = 0
@@ -173,6 +194,27 @@ class VideoSender:
             self.bytes_sent += frame_bytes
             self.packets_sent += count
             self.uplink.send_block(sizes, context)
+            if self._fec_encoder is not None:
+                # Parity travels as its own burst right behind the data —
+                # the same transmit order (data packets, then parity) the
+                # scalar path produces, so loss/jitter RNG streams and
+                # serialisation instants line up exactly.
+                parity = self._fec_encoder.protect_burst(
+                    frame_id, count, sizes, capture_time
+                )
+                for fec_packet in parity:
+                    fec_packet.send_time = now
+                if frame_bytes == self._parity_sizes_bytes:
+                    parity_sizes = self._parity_sizes
+                else:
+                    parity_sizes = np.fromiter(
+                        (p.size_bytes for p in parity), dtype=np.int64, count=len(parity)
+                    )
+                    self._parity_sizes_bytes = frame_bytes
+                    self._parity_sizes = parity_sizes
+                self.bytes_sent += int(parity_sizes.sum())
+                self.packets_sent += len(parity)
+                self.uplink.send_block(parity_sizes, ParityBurst(parity))
             return []
         packets = self.packetizer.packetize(frame_id, size_bytes, capture_time)
         self._sent_packets[frame_id] = {p.index_in_frame: p for p in packets}
@@ -856,22 +898,30 @@ class VideoTransportSession:
         )
 
         # Batched block delivery carries frame bursts as arrays end-to-end.
-        # FEC sessions keep the per-packet path: parity decode decisions are
-        # order-coupled to individual arrivals in ways block recording does
-        # not reproduce (see docs/PERFORMANCE.md for the contract).
-        self.block_mode = fastpath_enabled() and self.transport_config.fec is None
+        # FEC sessions batch the *sender and path* (drop decisions,
+        # admission, serialisation and jitter in numpy; lost packets never
+        # materialise) but keep per-packet delivery events: parity decode
+        # decisions are order-coupled to individual arrivals in ways
+        # run-granular recording does not reproduce, so each surviving
+        # packet is materialised at its own arrival instant and handed to
+        # the scalar receiver (see docs/PERFORMANCE.md for the contract).
+        fast = fastpath_enabled()
+        fec_enabled = self.transport_config.fec is not None
+        self.block_mode = fast and not fec_enabled
+        self.packet_block_mode = fast and fec_enabled
 
         self.uplink = EmulatedPath(
             self.loop,
             uplink_config,
             self._deliver_uplink,
             deliver_block=self._deliver_uplink_block if self.block_mode else None,
+            deliver_single=self._deliver_uplink_single if self.packet_block_mode else None,
         )
         self.feedback = EmulatedPath(
             self.loop,
             feedback_config,
             self._deliver_feedback,
-            lazy_dequeue=self.block_mode or None,
+            lazy_dequeue=(self.block_mode or self.packet_block_mode) or None,
         )
 
         self.receiver = VideoReceiver(
@@ -888,7 +938,7 @@ class VideoTransportSession:
             self.uplink,
             self.transport_config,
             self.stats,
-            block_mode=self.block_mode,
+            block_mode=self.block_mode or self.packet_block_mode,
         )
         self._nack_sequence = 0
 
@@ -912,6 +962,45 @@ class VideoTransportSession:
             self.receiver.on_block(context, offsets, arrivals, run_bytes, ordered)
         else:
             self.receiver.on_retransmission_block(context, offsets, arrivals, run_bytes, ordered)
+
+    def _deliver_uplink_single(self, context, offset: int, arrival_time: float) -> None:
+        """Materialise packet ``offset`` of a batched burst at its arrival.
+
+        FEC sessions batch the send side but deliver per packet; the
+        materialised packets carry exactly the fields the scalar sender's
+        packets would (sequence, timings, retransmission metadata), so the
+        scalar receiver pipeline — assembler, FEC decoder, NACK machinery —
+        observes an identical stream.
+        """
+        if type(context) is BurstContext:
+            packet = Packet(
+                sequence=context.first_sequence + offset,
+                frame_id=context.frame_id,
+                index_in_frame=offset,
+                packets_in_frame=context.count,
+                size_bytes=context.packet_size(offset),
+                capture_time=context.capture_time,
+                send_time=context.send_time,
+            )
+        elif type(context) is ParityBurst:
+            packet = context.packets[offset]
+        else:  # RetransmissionBatch
+            burst, index = context.entries[offset]
+            packet = Packet(
+                sequence=burst.first_sequence + index,
+                frame_id=burst.frame_id,
+                index_in_frame=index,
+                packets_in_frame=burst.count,
+                size_bytes=burst.packet_size(index),
+                capture_time=burst.capture_time,
+                send_time=context.send_time,
+                packet_type=PacketType.RETRANSMISSION,
+                metadata={
+                    "original_sequence": burst.first_sequence + index,
+                    "request_time": context.request_time,
+                },
+            )
+        self.receiver.on_packet(packet, arrival_time)
 
     def _queue_nack(self, request: NackRequest) -> None:
         packet = Packet(
@@ -962,6 +1051,21 @@ class VideoTransportSession:
         else:
             self.loop.run(until=until)
 
+    def fec_summary(self) -> dict[str, int]:
+        """Decoder-side FEC counters (all zero when FEC is disabled)."""
+        decoder = self.receiver._fec_decoder
+        if decoder is None:
+            return {
+                "recovered_packets": 0,
+                "spurious_recoveries": 0,
+                "pending_parity_frames": 0,
+            }
+        return {
+            "recovered_packets": decoder.recovered_packets,
+            "spurious_recoveries": decoder.spurious_recoveries,
+            "pending_parity_frames": decoder.pending_parity_frames,
+        }
+
 
 @dataclass
 class FixedBitrateWorkload:
@@ -1000,6 +1104,35 @@ class FixedBitrateWorkload:
         return np.maximum(sizes, 1).astype(int)
 
 
+def drive_fixed_bitrate(
+    session: VideoTransportSession,
+    workload: FixedBitrateWorkload,
+    duration_s: float,
+) -> None:
+    """Feed ``duration_s`` of the workload's frames into ``session`` and run it.
+
+    One bulk conversion to native ints instead of a numpy-scalar unwrap per
+    scheduled frame; chained scheduling (each send schedules the next) keeps
+    one source event in the heap instead of one per frame — identical
+    timing, since the next capture instant never precedes the current one.
+    After the last frame the loop runs 5 more simulated seconds so in-flight
+    retransmissions settle.
+    """
+    frame_count = max(1, int(round(duration_s * workload.fps)))
+    sizes = workload.frame_sizes(frame_count).tolist()
+    interval = 1.0 / workload.fps
+
+    def _send(frame_id: int) -> None:
+        session.send_frame(frame_id, sizes[frame_id], capture_time=frame_id * interval)
+        if frame_id + 1 < frame_count:
+            session.loop.schedule_at(
+                (frame_id + 1) * interval, lambda: _send(frame_id + 1)
+            )
+
+    session.loop.schedule_at(0.0, lambda: _send(0))
+    session.run(until=duration_s + 5.0)
+
+
 def run_fixed_bitrate_session(
     bitrate_bps: float,
     duration_s: float,
@@ -1017,24 +1150,5 @@ def run_fixed_bitrate_session(
     """
     session = VideoTransportSession(uplink_config, feedback_config, transport_config)
     workload = workload or FixedBitrateWorkload(bitrate_bps=bitrate_bps, fps=fps)
-    frame_count = max(1, int(round(duration_s * workload.fps)))
-    # One bulk conversion to native ints instead of a numpy-scalar unwrap per
-    # scheduled frame.
-    sizes = workload.frame_sizes(frame_count).tolist()
-    interval = 1.0 / workload.fps
-
-    # Chained scheduling: each send schedules the next, so the event heap
-    # holds one source event instead of one per frame (identical timing —
-    # the next capture instant never precedes the current one).
-    def _send(frame_id: int) -> None:
-        session.send_frame(frame_id, sizes[frame_id], capture_time=frame_id * interval)
-        if frame_id + 1 < frame_count:
-            session.loop.schedule_at(
-                (frame_id + 1) * interval, lambda: _send(frame_id + 1)
-            )
-
-    session.loop.schedule_at(0.0, lambda: _send(0))
-
-    # Allow in-flight retransmissions to settle after the last frame is sent.
-    session.run(until=duration_s + 5.0)
+    drive_fixed_bitrate(session, workload, duration_s)
     return session.stats

@@ -215,3 +215,58 @@ class TestMarkdownEscaping:
         rows = [line for line in md.splitlines() if line.startswith("|")]
         widths = {row.count("|") - row.count("\\|") for row in rows}
         assert len(widths) == 1
+
+
+class TestFailedCells:
+    """Error records are flagged and excluded from aggregation."""
+
+    def _records(self):
+        ok = {
+            "experiment": "exp",
+            "scenario": {"name": "s1"},
+            "seed": 0,
+            "result": {"metric": 1.0},
+        }
+        ok2 = dict(ok, seed=1, result={"metric": 3.0})
+        bad = {
+            "experiment": "exp",
+            "scenario": {"name": "s1"},
+            "seed": 2,
+            "result": None,
+            "error": {"type": "ValueError", "message": "x" * 200, "traceback": "tb"},
+        }
+        return [ok, ok2, bad]
+
+    def test_build_digest_splits_failures(self):
+        from repro.analysis.report import build_digest
+
+        digest = build_digest(self._records())
+        assert digest.cell_count == 3
+        assert len(digest.failed_cells) == 1
+        failed = digest.failed_cells[0]
+        assert (failed.experiment, failed.scenario, failed.seed) == ("exp", "s1", 2)
+        # The failed seed contributes nothing to the aggregate.
+        scenario = digest.experiments[0].scenarios[0]
+        assert scenario.seeds == (0, 1)
+        assert scenario.metrics["metric"].mean == 2.0
+
+    def test_renderers_and_json_flag_failures(self):
+        from repro.analysis.report import build_digest
+
+        digest = build_digest(self._records())
+        text = digest.render_text()
+        assert "FAILED CELLS (1" in text and "ValueError" in text
+        markdown = digest.render_markdown()
+        assert "Failed cells" in markdown
+        assert "..." in markdown  # long messages truncate in listings
+        payload = digest.to_jsonable()
+        assert payload["failed"] == 1
+        assert payload["failed_cells"][0]["error_type"] == "ValueError"
+
+    def test_clean_digest_has_no_failure_sections(self):
+        from repro.analysis.report import build_digest
+
+        digest = build_digest(self._records()[:2])
+        assert digest.failed_cells == []
+        assert "FAILED" not in digest.render_text()
+        assert "Failed cells" not in digest.render_markdown()

@@ -353,3 +353,136 @@ class TestScenarioPluggableRunners:
         )
         assert clean["delivered_frame_fraction"] == pytest.approx(1.0)
         assert lossy["delivered_frame_fraction"] < 1.0
+
+
+def _register_probe_experiments():
+    """Register tiny deterministic runners used by the fault-isolation tests.
+
+    The registry is process-global and rejects duplicates, so registration
+    is guarded for repeated imports within one pytest session.
+    """
+    from repro.analysis.registry import _REGISTRY, experiment
+
+    if "_test_faulty_probe" in _REGISTRY:
+        return
+
+    @experiment("_test_faulty_probe", description="raises when told to (tests only)")
+    def _faulty_probe(seed: int = 0, boom: bool = False):
+        if boom:
+            raise ValueError(f"probe exploded (seed {seed})")
+        return {"ok": 1.0}
+
+
+class TestFaultIsolation:
+    """A raising runner yields an error record instead of crashing the pool."""
+
+    def _grid(self):
+        _register_probe_experiments()
+        return SweepGrid(
+            experiments=("_test_faulty_probe",),
+            scenarios=(
+                bernoulli_scenario(0.02, name="healthy"),
+                bernoulli_scenario(0.02, name="explosive", boom=True),
+            ),
+            seeds=(0, 1),
+        )
+
+    def test_failures_become_error_records(self, tmp_path):
+        report = SweepRunner(results_dir=tmp_path, processes=1).run(self._grid())
+        assert len(report.cells) == 4
+        failed = report.failed_cells
+        assert sorted((cell.scenario.name, cell.seed) for cell in failed) == [
+            ("explosive", 0),
+            ("explosive", 1),
+        ]
+        for cell in failed:
+            assert cell.result is None and cell.failed
+            assert cell.error["type"] == "ValueError"
+            assert "probe exploded" in cell.error["message"]
+            assert "ValueError" in cell.error["traceback"]
+        assert report.summary()["failed"] == 2
+
+    def test_completed_cells_persist_alongside_failures(self, tmp_path):
+        report = SweepRunner(results_dir=tmp_path, processes=1).run(self._grid())
+        for cell in report.cells:
+            record = json.loads(cell.path.read_text())
+            if cell.failed:
+                assert record["error"]["type"] == "ValueError"
+                assert record["result"] is None
+            else:
+                assert record["result"] == {"ok": 1.0}
+                assert "error" not in record
+
+    def test_error_records_not_served_from_cache(self, tmp_path):
+        runner = SweepRunner(results_dir=tmp_path, processes=1)
+        runner.run(self._grid())
+        again = runner.run(self._grid())
+        # Successes load from cache; failures re-execute (and fail again).
+        assert again.cached == 2 and again.executed == 2
+        assert len(again.failed_cells) == 2
+
+    def test_failures_survive_the_process_pool(self, tmp_path):
+        """The error record must pickle back from a real pool worker."""
+        report = SweepRunner(results_dir=tmp_path, processes=2).run(self._grid())
+        assert len(report.failed_cells) == 2
+
+    def test_report_flags_failures(self, tmp_path):
+        from repro.analysis import digest_results_dir, digest_sweep_report
+
+        report = SweepRunner(results_dir=tmp_path, processes=1).run(self._grid())
+        for digest in (digest_sweep_report(report), digest_results_dir(tmp_path)):
+            assert digest.cell_count == 4
+            assert sorted((cell.scenario, cell.seed) for cell in digest.failed_cells) == [
+                ("explosive", 0),
+                ("explosive", 1),
+            ]
+            assert digest.failed_cells[0].error_type == "ValueError"
+            # Failures are flagged, never aggregated: the explosive scenario
+            # contributes no aggregate group at all.
+            for experiment in digest.experiments:
+                assert [s.scenario for s in experiment.scenarios] == ["healthy"]
+                for scenario in experiment.scenarios:
+                    assert set(scenario.seeds) == {0, 1}
+            assert "FAILED CELLS (2" in digest.render_text()
+            assert "Failed cells" in digest.render_markdown()
+            assert digest.to_jsonable()["failed"] == 2
+
+
+class TestBackendPlumbing:
+    def test_default_backend_is_local_pool(self, tmp_path):
+        from repro.analysis import LocalPoolBackend
+
+        backend = LocalPoolBackend(processes=1)
+        runner = SweepRunner(results_dir=tmp_path, backend=backend)
+        grid = SweepGrid(
+            experiments=("section1_latency_budget",),
+            scenarios=(bernoulli_scenario(0.02),),
+            seeds=(0,),
+        )
+        report = runner.run(grid)
+        assert report.executed == 1
+        assert "local pool" in backend.describe()
+
+    def test_backend_never_sees_cached_cells(self, tmp_path):
+        from repro.analysis import CellBackend
+
+        class CountingBackend(CellBackend):
+            def __init__(self):
+                self.seen = 0
+
+            def execute(self, items):
+                self.seen += len(items)
+                for item in items:
+                    yield sweeps._execute_cell_indexed(item)
+
+        grid = SweepGrid(
+            experiments=("section1_latency_budget",),
+            scenarios=(bernoulli_scenario(0.02),),
+            seeds=(0, 1),
+        )
+        first = CountingBackend()
+        SweepRunner(results_dir=tmp_path, backend=first).run(grid)
+        assert first.seen == 2
+        second = CountingBackend()
+        SweepRunner(results_dir=tmp_path, backend=second).run(grid)
+        assert second.seen == 0
