@@ -43,7 +43,6 @@ from __future__ import annotations
 import json
 import os
 import platform
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -51,6 +50,7 @@ from typing import Any, Callable, Iterator, Optional
 
 import numpy as np
 
+from ..core import wallclock
 from ..net.emulator import (
     FASTPATH_ENV,
     BandwidthTrace,
@@ -477,9 +477,9 @@ def _time_workload(fn: Callable[[], Any], repeats: int) -> tuple[float, list[flo
     """Median-of-``repeats`` wall time, plus the raw samples."""
     samples: list[float] = []
     for _ in range(max(1, repeats)):
-        started = time.perf_counter()
+        started = wallclock.perf_counter()
         fn()
-        samples.append(time.perf_counter() - started)
+        samples.append(wallclock.perf_counter() - started)
     ordered = sorted(samples)
     return ordered[len(ordered) // 2], samples
 
@@ -611,7 +611,7 @@ def run_benchmarks(
     return {
         "schema": BENCH_SCHEMA,
         "mode": "smoke" if smoke else "full",
-        "generated_unix": int(time.time()),
+        "generated_unix": wallclock.unix_time(),
         "host": {
             "python": platform.python_version(),
             "platform": platform.platform(),

@@ -28,7 +28,6 @@ import json
 import multiprocessing
 import os
 import re
-import time
 import traceback
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -36,6 +35,7 @@ from typing import Any, Iterable, Optional, Sequence
 
 import numpy as np
 
+from ..core import wallclock
 from ..net.emulator import bandwidth_trace_from_spec, loss_model_from_spec
 from .registry import ExperimentSpec, get_experiment
 
@@ -454,7 +454,7 @@ def _execute_cell(payload: dict) -> dict:
     """Run one cell inside a worker process and return a JSON-able record."""
     spec = get_experiment(payload["experiment"])
     scenario = Scenario.from_jsonable(payload["scenario"])
-    started = time.perf_counter()
+    started = wallclock.perf_counter()
     result = spec.run(**scenario.runner_kwargs(payload["cell_seed"]))
     return {
         "experiment": payload["experiment"],
@@ -462,7 +462,7 @@ def _execute_cell(payload: dict) -> dict:
         "seed": payload["seed"],
         "cell_seed": payload["cell_seed"],
         "cache_key": payload["cache_key"],
-        "elapsed_s": time.perf_counter() - started,
+        "elapsed_s": wallclock.perf_counter() - started,
         "result": to_jsonable(result),
     }
 
@@ -496,7 +496,7 @@ def execute_cell_record(payload: dict) -> dict:
     usual and the failure surfaces through ``SweepReport.failed_cells`` and
     the report tooling.
     """
-    started = time.perf_counter()
+    started = wallclock.perf_counter()
     try:
         return _execute_cell(payload)
     except Exception as exc:  # noqa: BLE001 - the whole point is isolation
@@ -507,7 +507,7 @@ def execute_cell_record(payload: dict) -> dict:
                 "message": str(exc),
                 "traceback": traceback.format_exc(),
             },
-            elapsed_s=time.perf_counter() - started,
+            elapsed_s=wallclock.perf_counter() - started,
         )
 
 
@@ -670,7 +670,7 @@ class SweepRunner:
                 self.backend.close()
 
     def _run(self, grid: SweepGrid) -> SweepReport:
-        started = time.perf_counter()
+        started = wallclock.perf_counter()
         cells: dict[int, SweepCell] = {}
         pending: list[tuple[int, dict, Path]] = []
 
@@ -725,7 +725,7 @@ class SweepRunner:
             )
 
         ordered = [cells[position] for position in sorted(cells)]
-        return SweepReport(cells=ordered, elapsed_s=time.perf_counter() - started)
+        return SweepReport(cells=ordered, elapsed_s=wallclock.perf_counter() - started)
 
     def _execute_stream(
         self, items: list[tuple[int, dict]]

@@ -25,12 +25,12 @@ from __future__ import annotations
 import queue
 import socket
 import threading
-import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterator, Optional, Sequence
 
 from ..analysis.sweeps import _package_fingerprint, error_record
+from ..core import wallclock
 from .protocol import PROTOCOL_VERSION, MessageChannel, ProtocolError
 
 #: How often an idle worker polls for new work (the coordinator's ``wait``
@@ -108,7 +108,7 @@ class SweepCoordinator:
         self._live_workers = 0
         # Instant the live-worker count last hit zero; drives the
         # no-workers timeout in :meth:`results`.
-        self._workers_gone_since = time.monotonic()
+        self._workers_gone_since = wallclock.monotonic()
 
     # -- wiring ------------------------------------------------------------
 
@@ -275,7 +275,7 @@ class SweepCoordinator:
                 with self._lock:
                     self._live_workers -= 1
                     if self._live_workers == 0:
-                        self._workers_gone_since = time.monotonic()
+                        self._workers_gone_since = wallclock.monotonic()
             channel.close()
 
     def _handshake(self, channel: MessageChannel, connection: _Connection) -> bool:
@@ -369,7 +369,7 @@ class SweepCoordinator:
             if self._live_workers == 0:
                 # Start the no-workers clock at sweep start, not at bind
                 # time (the backend binds eagerly, possibly much earlier).
-                self._workers_gone_since = time.monotonic()
+                self._workers_gone_since = wallclock.monotonic()
         yielded = 0
         while yielded < total:
             try:
@@ -380,7 +380,7 @@ class SweepCoordinator:
                 if startup_timeout_s is not None:
                     with self._lock:
                         live = self._live_workers
-                        gone_for = time.monotonic() - self._workers_gone_since
+                        gone_for = wallclock.monotonic() - self._workers_gone_since
                     if live == 0 and gone_for > startup_timeout_s:
                         raise RuntimeError(
                             f"no worker connected for {startup_timeout_s:g}s with "
@@ -406,9 +406,9 @@ class SweepCoordinator:
                 self._server.close()
             except OSError:
                 pass
-        deadline = time.monotonic() + linger_s
+        deadline = wallclock.monotonic() + linger_s
         for thread in self._threads:
-            remaining = deadline - time.monotonic()
+            remaining = deadline - wallclock.monotonic()
             if remaining > 0 and thread is not threading.current_thread():
                 thread.join(timeout=remaining)
         with self._lock:

@@ -44,6 +44,28 @@ from typing import Any, Optional
 #: refuse to pair with a different version during the handshake.
 PROTOCOL_VERSION = 1
 
+#: The complete wire vocabulary.  ``reprolint``'s protocol-exhaustiveness
+#: rule cross-checks this set against every ``channel.send("<type>", ...)``
+#: site and every dispatch branch in ``coordinator.py``/``worker.py``, so a
+#: new message type cannot ship sent-but-unhandled (silently dropped by the
+#: receiver) or handled-but-never-sent (dead protocol surface).  Receivers
+#: still ignore *incoming* unknown types for forward compatibility; this
+#: set only constrains what this codebase emits.
+MESSAGE_TYPES = frozenset(
+    {
+        "hello",
+        "welcome",
+        "reject",
+        "next",
+        "task",
+        "wait",
+        "done",
+        "result",
+        "heartbeat",
+        "bye",
+    }
+)
+
 _HEADER = struct.Struct(">I")
 
 #: Upper bound on one frame.  Sweep cell records are a few KB to a few MB;
@@ -117,6 +139,8 @@ class MessageChannel:
         self._closed = False
 
     def send(self, type: str, **fields: Any) -> None:
+        if type not in MESSAGE_TYPES:
+            raise ProtocolError(f"unknown outgoing message type {type!r}")
         message = {"type": type, **fields}
         with self._send_lock:
             send_message(self.sock, message)

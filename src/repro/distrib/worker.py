@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ..analysis.sweeps import _package_fingerprint, execute_cell_record
+from ..core import wallclock
 from .protocol import PROTOCOL_VERSION, MessageChannel, ProtocolError, parse_address
 
 #: How often the heartbeat thread proves liveness to the coordinator.  Must
@@ -147,10 +148,11 @@ def _run_session(
                 continue  # unknown messages are ignored (forward compatibility)
             try:
                 record = executor(message["payload"])
-            except Exception as exc:  # noqa: BLE001 - executor is fault-isolated;
-                # anything escaping it means this worker cannot report a
-                # record at all, so drop the connection: the coordinator
-                # requeues the cell on a healthy worker.
+            except Exception as exc:  # reprolint: disable=broad-except
+                # Deliberately broad: the executor is already fault-isolated,
+                # so anything escaping it means this worker cannot report a
+                # record at all — drop the connection and let the coordinator
+                # requeue the cell on a healthy worker.
                 return WorkerOutcome("crashed", completed, f"{type(exc).__name__}: {exc}")
             channel.send("result", task_id=message["task_id"], record=record)
             completed += 1
@@ -189,13 +191,13 @@ def run_worker(
     executor = executor or execute_cell_record
 
     if connect is not None:
-        deadline = time.monotonic() + connect_timeout_s
+        deadline = wallclock.monotonic() + connect_timeout_s
         while True:
             try:
                 sock = socket.create_connection(connect, timeout=2.0)
                 break
             except OSError as exc:
-                if time.monotonic() >= deadline:
+                if wallclock.monotonic() >= deadline:
                     return WorkerOutcome(
                         "connect_failed", detail=f"{connect[0]}:{connect[1]}: {exc}"
                     )

@@ -1,0 +1,100 @@
+"""Committed-baseline support for deliberate, reviewed lint exemptions.
+
+A baseline entry grandfathers exactly one existing finding.  Entries are
+keyed by ``(rule, path, stripped source line)`` — content, not line
+number — so unrelated edits do not churn the file, while any edit to the
+offending line itself invalidates the exemption.  Stale entries (matching
+no current finding) fail the run: the baseline may only ever shrink
+silently, never rot.
+
+Policy, enforced here rather than by convention: ``net/`` and ``distrib/``
+carry **zero** baseline entries.  Those layers are exactly where a stray
+wall-clock read or unseeded RNG corrupts cached sweep cells and
+equivalence gates, so their violations must be fixed (or, for the rare
+deliberate case, suppressed inline where the justification is visible in
+the code), never parked in a side file.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from .findings import Finding
+
+BASELINE_VERSION = 1
+
+#: Directories whose findings may never be baselined.
+FORBIDDEN_PREFIXES = ("net/", "distrib/")
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed or violates baseline policy."""
+
+
+def _entry_key(entry: dict) -> tuple[str, str, str]:
+    try:
+        return (str(entry["rule"]), str(entry["path"]), str(entry["line"]))
+    except (KeyError, TypeError) as exc:
+        raise BaselineError(f"malformed baseline entry {entry!r}") from exc
+
+
+def load_baseline(path: Path) -> Counter:
+    """Load a baseline file into a multiset of finding keys."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(data, dict) or not isinstance(data.get("entries"), list):
+        raise BaselineError(f"baseline {path} must be an object with an 'entries' list")
+    counter: Counter = Counter()
+    for entry in data["entries"]:
+        if not isinstance(entry, dict):
+            raise BaselineError(f"malformed baseline entry {entry!r}")
+        counter[_entry_key(entry)] += 1
+    return counter
+
+
+def forbidden_entries(baseline: Counter) -> list[tuple[str, str, str]]:
+    """Baseline keys that violate the zero-entries policy for hot layers."""
+    return sorted(
+        key
+        for key in baseline
+        if any(key[1].startswith(prefix) for prefix in FORBIDDEN_PREFIXES)
+    )
+
+
+def apply_baseline(
+    findings: list[Finding],
+    source_lines: dict[tuple[str, int], str],
+    baseline: Counter,
+) -> tuple[list[Finding], list[Finding], list[tuple[str, str, str]]]:
+    """Split ``findings`` into (kept, baselined) and report stale keys.
+
+    ``source_lines`` maps ``(path, lineno)`` to the raw source line, used
+    to compute each finding's content key.
+    """
+    remaining = Counter(baseline)
+    kept: list[Finding] = []
+    baselined: list[Finding] = []
+    for finding in findings:
+        key = finding.key(source_lines.get((finding.path, finding.line), ""))
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            baselined.append(finding)
+        else:
+            kept.append(finding)
+    stale = sorted(key for key, count in remaining.items() if count > 0 for _ in range(count))
+    return kept, baselined, stale
+
+
+def render_baseline(
+    findings: list[Finding], source_lines: dict[tuple[str, int], str]
+) -> str:
+    """Serialise ``findings`` as a fresh baseline file (``--write-baseline``)."""
+    entries = []
+    for finding in sorted(findings, key=lambda f: (f.path, f.line, f.rule)):
+        rule, path, line = finding.key(source_lines.get((finding.path, finding.line), ""))
+        entries.append({"rule": rule, "path": path, "line": line})
+    return json.dumps({"version": BASELINE_VERSION, "entries": entries}, indent=2) + "\n"

@@ -1,0 +1,572 @@
+"""Per-file AST checkers encoding this codebase's determinism invariants.
+
+Each checker is an :class:`ast.NodeVisitor` over one parsed module.  They
+share a small amount of infrastructure: import-alias resolution (so
+``import numpy as np`` / ``from time import monotonic`` cannot dodge a
+rule) and enclosing-scope tracking (so allowlists can name individual
+functions rather than whole files).
+
+The cross-file protocol-exhaustiveness rule lives in
+:mod:`repro.lint.protocol_check`; everything single-file lives here.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import PurePosixPath
+from typing import Optional
+
+from .findings import Finding
+
+# ---------------------------------------------------------------------------
+# Rule registry (ids + one-line rationale, surfaced by ``--list-rules``)
+# ---------------------------------------------------------------------------
+
+RULES: dict[str, str] = {
+    "rng-discipline": (
+        "all randomness must flow from an explicit seed or a passed-in "
+        "np.random.Generator: the stdlib random module, np.random.seed, "
+        "legacy module-level np.random draws, and argument-less "
+        "np.random.default_rng() all break sweep-cell cache soundness"
+    ),
+    "wall-clock": (
+        "simulation time comes from the event loop; wall-clock reads are "
+        "confined to the repro.core.wallclock helpers so determinism and "
+        "scalar/fast-path equivalence gates stay meaningful"
+    ),
+    "fastpath-flag": (
+        "REPRO_NET_FASTPATH may only be read at net/emulator.py's "
+        "fastpath_enabled() (and toggled by perfbench's fastpath_mode); "
+        "ad-hoc parses desynchronise the scalar/vectorized mode switch"
+    ),
+    "hot-slots": (
+        "dataclasses in hot-path modules must declare slots=True — a "
+        "measured win on per-packet records (PR 3)"
+    ),
+    "protocol-exhaustive": (
+        "every dispatcher message type declared in distrib/protocol.py must "
+        "be sent somewhere and handled somewhere across "
+        "coordinator.py/worker.py, and vice versa"
+    ),
+    "float-time-eq": (
+        "==/!= between float-typed time expressions is the ULP bug class "
+        "fixed twice in PR 1; compare with tolerances or orderings instead"
+    ),
+    "mutable-default": "mutable default arguments alias state across calls",
+    "broad-except": (
+        "bare except: anywhere, and except Exception/BaseException inside "
+        "distrib/, swallow protocol and liveness bugs; catch specific "
+        "exceptions or suppress with a justification"
+    ),
+}
+
+#: Modules whose dataclasses must declare ``slots=True`` (hot paths where
+#: PR 3 measured per-record attribute access and allocation wins).
+HOT_SLOTS_MODULES = frozenset(
+    {
+        "net/packet.py",
+        "net/events.py",
+        "net/transport.py",
+        "distrib/protocol.py",
+    }
+)
+
+#: ``(relpath, function qualname)`` pairs allowed to read wall clocks.
+#: Deliberately function-granular: growing this list means adding a helper
+#: to :mod:`repro.core.wallclock`, not blessing a whole file.
+WALLCLOCK_ALLOWLIST = frozenset(
+    {
+        ("core/wallclock.py", "perf_counter"),
+        ("core/wallclock.py", "monotonic"),
+        ("core/wallclock.py", "unix_time"),
+    }
+)
+
+#: ``(relpath, function qualname)`` pairs allowed to touch the
+#: ``REPRO_NET_FASTPATH`` environment variable: the single read helper and
+#: the perfbench context manager that toggles it around timed workloads.
+FASTPATH_ALLOWLIST = frozenset(
+    {
+        ("net/emulator.py", "fastpath_enabled"),
+        ("analysis/perfbench.py", "fastpath_mode"),
+    }
+)
+
+FASTPATH_ENV_NAME = "REPRO_NET_FASTPATH"
+#: Conventional constant name for the flag (``repro.net.emulator.FASTPATH_ENV``);
+#: reading the environment through the constant is still a read.
+FASTPATH_CONST_NAME = "FASTPATH_ENV"
+
+_WALLCLOCK_BANNED = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: ``np.random.<attr>`` accesses that are part of the seeded-Generator API
+#: rather than the legacy global-state one.
+_NP_RANDOM_ALLOWED = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "MT19937",
+        "Philox",
+        "SFC64",
+    }
+)
+
+#: Identifier shapes treated as "a time expression" by ``float-time-eq``:
+#: ``*_time``, ``*_s``, ``deadline``/``*_deadline``, ``*_instant``, ``now``.
+TIME_NAME_RE = re.compile(r"(?:^|_)(?:time|instant|deadline|now)$|_s$")
+
+
+def path_matches(relpath: str, candidates: frozenset[str]) -> bool:
+    """Whether ``relpath`` names one of ``candidates`` (suffix-tolerant, so
+    scanning from a parent directory still matches ``net/packet.py``)."""
+    return any(
+        relpath == candidate or relpath.endswith("/" + candidate) for candidate in candidates
+    )
+
+
+# ---------------------------------------------------------------------------
+# Shared context
+# ---------------------------------------------------------------------------
+
+
+class FileContext:
+    """One parsed module plus the alias maps the checkers resolve against."""
+
+    def __init__(self, relpath: str, text: str, tree: ast.Module) -> None:
+        self.relpath = relpath
+        self.text = text
+        self.tree = tree
+        self.lines = text.splitlines()
+        # local name -> imported module path ("np" -> "numpy")
+        self.module_aliases: dict[str, str] = {}
+        # local name -> fully qualified name ("default_rng" -> "numpy.random.default_rng")
+        self.name_aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.module_aliases[alias.asname] = alias.name
+                    else:
+                        root = alias.name.split(".")[0]
+                        self.module_aliases[root] = root
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.name_aliases[local] = f"{node.module}.{alias.name}"
+
+    def source_line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Resolve a ``Name``/``Attribute`` chain to a dotted path with
+        import aliases substituted; None for anything more dynamic."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(node.id)
+        parts.reverse()
+        root = parts[0]
+        if root in self.module_aliases:
+            return ".".join([self.module_aliases[root], *parts[1:]])
+        if root in self.name_aliases:
+            return ".".join([self.name_aliases[root], *parts[1:]])
+        return ".".join(parts)
+
+
+class ScopedVisitor(ast.NodeVisitor):
+    """Visitor that tracks the enclosing class/function qualname."""
+
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+        self.findings: list[Finding] = []
+        self._scope: list[str] = []
+
+    @property
+    def qualname(self) -> str:
+        return ".".join(self._scope)
+
+    def emit(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append(
+            Finding(
+                rule=rule,
+                path=self.ctx.relpath,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                message=message,
+            )
+        )
+
+    def _walk_scoped(self, node: ast.AST) -> None:
+        self._scope.append(node.name)  # type: ignore[attr-defined]
+        self.generic_visit(node)
+        self._scope.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._walk_scoped(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._walk_scoped(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._walk_scoped(node)
+
+
+# ---------------------------------------------------------------------------
+# Rule 1: RNG discipline
+# ---------------------------------------------------------------------------
+
+
+class RngDisciplineChecker(ScopedVisitor):
+    rule = "rng-discipline"
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "random" or alias.name.startswith("random."):
+                self.emit(
+                    node,
+                    self.rule,
+                    "the stdlib random module is banned: draw from a seeded "
+                    "np.random.Generator passed in by the caller",
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if not node.level and node.module and node.module.split(".")[0] == "random":
+            self.emit(
+                node,
+                self.rule,
+                "the stdlib random module is banned: draw from a seeded "
+                "np.random.Generator passed in by the caller",
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = self.ctx.resolve(node.func)
+        if dotted:
+            if dotted.startswith("numpy.random."):
+                terminal = dotted[len("numpy.random.") :]
+                if terminal == "seed":
+                    self.emit(
+                        node,
+                        self.rule,
+                        "np.random.seed mutates hidden global state; seed an "
+                        "explicit np.random.default_rng(seed) instead",
+                    )
+                elif terminal == "default_rng":
+                    if self._unseeded(node):
+                        self.emit(
+                            node,
+                            self.rule,
+                            "np.random.default_rng() without a seed is "
+                            "entropy-seeded: results are unreproducible and "
+                            "poison sweep-cell cache keys — pass an explicit "
+                            "seed or accept a Generator argument",
+                        )
+                elif "." not in terminal and terminal not in _NP_RANDOM_ALLOWED:
+                    self.emit(
+                        node,
+                        self.rule,
+                        f"legacy module-level np.random.{terminal}() draws from "
+                        "hidden global state; use a seeded np.random.Generator",
+                    )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _unseeded(node: ast.Call) -> bool:
+        if not node.args and not node.keywords:
+            return True
+        if len(node.args) == 1 and not node.keywords:
+            arg = node.args[0]
+            return isinstance(arg, ast.Constant) and arg.value is None
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Rule 2: wall-clock discipline
+# ---------------------------------------------------------------------------
+
+
+class WallClockChecker(ScopedVisitor):
+    rule = "wall-clock"
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = self.ctx.resolve(node.func)
+        if dotted in _WALLCLOCK_BANNED and not self._allowlisted():
+            self.emit(
+                node,
+                self.rule,
+                f"{dotted}() reads the wall clock: simulated time must come "
+                "from the event loop; real-time needs go through "
+                "repro.core.wallclock's allowlisted helpers",
+            )
+        self.generic_visit(node)
+
+    def _allowlisted(self) -> bool:
+        qual = self.qualname
+        return any(
+            path_matches(self.ctx.relpath, frozenset({path})) and qual == func
+            for path, func in WALLCLOCK_ALLOWLIST
+        )
+
+
+# ---------------------------------------------------------------------------
+# Rule 3: fast-path flag discipline
+# ---------------------------------------------------------------------------
+
+
+class FastpathFlagChecker(ScopedVisitor):
+    rule = "fastpath-flag"
+
+    def _is_flag(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Constant) and node.value == FASTPATH_ENV_NAME:
+            return True
+        return isinstance(node, ast.Name) and node.id == FASTPATH_CONST_NAME
+
+    def _allowlisted(self) -> bool:
+        qual = self.qualname
+        return any(
+            path_matches(self.ctx.relpath, frozenset({path})) and qual == func
+            for path, func in FASTPATH_ALLOWLIST
+        )
+
+    def _check_key(self, node: ast.AST, key: ast.AST) -> None:
+        if self._is_flag(key) and not self._allowlisted():
+            self.emit(
+                node,
+                self.rule,
+                f"{FASTPATH_ENV_NAME} may only be read via "
+                "repro.net.emulator.fastpath_enabled() (and toggled by "
+                "perfbench's fastpath_mode); ad-hoc access desynchronises "
+                "the scalar/vectorized mode switch",
+            )
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        if self.ctx.resolve(node.value) == "os.environ":
+            self._check_key(node, node.slice)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = self.ctx.resolve(node.func)
+        if dotted in (
+            "os.getenv",
+            "os.environ.get",
+            "os.environ.pop",
+            "os.environ.setdefault",
+        ):
+            if node.args:
+                self._check_key(node, node.args[0])
+        self.generic_visit(node)
+
+
+# ---------------------------------------------------------------------------
+# Rule 4: slots on hot-path dataclasses
+# ---------------------------------------------------------------------------
+
+
+class HotSlotsChecker(ScopedVisitor):
+    rule = "hot-slots"
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if path_matches(self.ctx.relpath, HOT_SLOTS_MODULES):
+            for decorator in node.decorator_list:
+                target = decorator.func if isinstance(decorator, ast.Call) else decorator
+                if self.ctx.resolve(target) in ("dataclass", "dataclasses.dataclass"):
+                    if not self._has_slots(decorator):
+                        self.emit(
+                            node,
+                            self.rule,
+                            f"dataclass {node.name} in a hot-path module must "
+                            "declare @dataclass(slots=True) — slotted records "
+                            "are a measured per-packet win",
+                        )
+        self._walk_scoped(node)
+
+    @staticmethod
+    def _has_slots(decorator: ast.AST) -> bool:
+        if not isinstance(decorator, ast.Call):
+            return False
+        for keyword in decorator.keywords:
+            if keyword.arg == "slots":
+                value = keyword.value
+                return isinstance(value, ast.Constant) and value.value is True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Rule 6: float time equality
+# ---------------------------------------------------------------------------
+
+
+class FloatTimeEqChecker(ScopedVisitor):
+    rule = "float-time-eq"
+
+    @classmethod
+    def _terminal_name(cls, node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        if isinstance(node, ast.Call):
+            return cls._terminal_name(node.func)
+        return None
+
+    @classmethod
+    def _is_time_like(cls, node: ast.AST) -> bool:
+        name = cls._terminal_name(node)
+        return name is not None and bool(TIME_NAME_RE.search(name))
+
+    @staticmethod
+    def _is_float_literal(node: ast.AST) -> bool:
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+            node = node.operand
+        return (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, float)
+            # == 0.0 is an exact sentinel (assigned, never computed), the
+            # one float-equality idiom that is reliable.
+            and node.value != 0.0
+        )
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            pair = (left, right)
+            time_like = sum(self._is_time_like(side) for side in pair)
+            literalish = any(self._is_float_literal(side) for side in pair)
+            if time_like == 2 or (time_like == 1 and literalish):
+                self.emit(
+                    node,
+                    self.rule,
+                    "==/!= between float time values is ULP-fragile (the bug "
+                    "class fixed twice in PR 1): compare with a tolerance, an "
+                    "ordering, or an integer tick count",
+                )
+                break
+        self.generic_visit(node)
+
+
+# ---------------------------------------------------------------------------
+# Rule 7a/7b: hygiene
+# ---------------------------------------------------------------------------
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set)
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "collections.defaultdict", "collections.deque"})
+
+
+class MutableDefaultChecker(ScopedVisitor):
+    rule = "mutable-default"
+
+    def _check_defaults(self, node) -> None:
+        defaults = list(node.args.defaults) + [d for d in node.args.kw_defaults if d is not None]
+        for default in defaults:
+            mutable = isinstance(default, _MUTABLE_LITERALS) or (
+                isinstance(default, ast.Call)
+                and self.ctx.resolve(default.func) in _MUTABLE_CALLS
+            )
+            if mutable:
+                self.emit(
+                    default,
+                    self.rule,
+                    "mutable default argument is shared across calls; default "
+                    "to None and construct inside the function",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self._walk_scoped(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self._walk_scoped(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+
+class BroadExceptChecker(ScopedVisitor):
+    rule = "broad-except"
+
+    def _in_distrib(self) -> bool:
+        return "distrib" in PurePosixPath(self.ctx.relpath).parts
+
+    def _names(self, node: Optional[ast.AST]) -> list[str]:
+        if node is None:
+            return []
+        if isinstance(node, ast.Tuple):
+            return [name for elt in node.elts for name in self._names(elt)]
+        dotted = self.ctx.resolve(node)
+        return [dotted] if dotted else []
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.emit(
+                node,
+                self.rule,
+                "bare except: catches SystemExit/KeyboardInterrupt too; name "
+                "the exceptions this handler is for",
+            )
+        elif self._in_distrib():
+            broad = [
+                name
+                for name in self._names(node.type)
+                if name in ("Exception", "BaseException", "builtins.Exception", "builtins.BaseException")
+            ]
+            if broad:
+                self.emit(
+                    node,
+                    self.rule,
+                    f"except {broad[0]} in distrib/ swallows protocol and "
+                    "liveness bugs; catch the specific exceptions (or suppress "
+                    "inline with a justification)",
+                )
+        self.generic_visit(node)
+
+
+#: Single-file checkers, in reporting order.
+FILE_CHECKERS = (
+    RngDisciplineChecker,
+    WallClockChecker,
+    FastpathFlagChecker,
+    HotSlotsChecker,
+    FloatTimeEqChecker,
+    MutableDefaultChecker,
+    BroadExceptChecker,
+)
+
+
+def check_file(ctx: FileContext) -> list[Finding]:
+    """Run every single-file checker over one parsed module."""
+    findings: list[Finding] = []
+    for checker_cls in FILE_CHECKERS:
+        checker = checker_cls(ctx)
+        checker.visit(ctx.tree)
+        findings.extend(checker.findings)
+    return findings

@@ -33,7 +33,7 @@ from .packet import (
 from .stats import TransportStats
 
 
-@dataclass
+@dataclass(slots=True)
 class TransportConfig:
     """Configuration of the unidirectional video transport."""
 
@@ -1067,7 +1067,7 @@ class VideoTransportSession:
         }
 
 
-@dataclass
+@dataclass(slots=True)
 class FixedBitrateWorkload:
     """A constant-bitrate video source: ``bitrate_bps`` split across ``fps`` frames.
 

@@ -77,12 +77,12 @@ class TestBenchTiming:
 class TestTimeWorkload:
     def test_reports_median_and_samples(self):
         values = iter([0.0, 0.5, 0.5, 0.9, 1.0, 1.1])
-        original = perfbench.time.perf_counter
-        perfbench.time.perf_counter = lambda: next(values)
+        original = perfbench.wallclock.perf_counter
+        perfbench.wallclock.perf_counter = lambda: next(values)
         try:
             median, samples = perfbench._time_workload(lambda: None, repeats=3)
         finally:
-            perfbench.time.perf_counter = original
+            perfbench.wallclock.perf_counter = original
         # Deltas are 0.5, 0.4, 0.1 -> median 0.4, samples in run order.
         assert median == pytest.approx(0.4)
         assert samples == pytest.approx([0.5, 0.4, 0.1])

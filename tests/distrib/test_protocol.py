@@ -114,6 +114,31 @@ class TestMessageChannel:
         assert channel_a.closed and channel_b.closed
         channel_a.close()  # idempotent
 
+    def test_unknown_outgoing_type_rejected(self):
+        a, b = pair()
+        channel = MessageChannel(a)
+        try:
+            with pytest.raises(ProtocolError, match="unknown outgoing message type"):
+                channel.send("mystery", x=1)
+        finally:
+            a.close(), b.close()
+
+    def test_vocabulary_covers_handshake_and_session(self):
+        from repro.distrib.protocol import MESSAGE_TYPES
+
+        assert MESSAGE_TYPES == {
+            "hello",
+            "welcome",
+            "reject",
+            "next",
+            "task",
+            "wait",
+            "done",
+            "result",
+            "heartbeat",
+            "bye",
+        }
+
     def test_concurrent_senders_interleave_whole_frames(self):
         a, b = pair()
         channel = MessageChannel(a)
@@ -130,7 +155,7 @@ class TestMessageChannel:
         reader_thread.start()
         threads = [
             threading.Thread(
-                target=lambda tag=tag: [channel.send("m", tag=tag, i=i) for i in range(50)]
+                target=lambda tag=tag: [channel.send("heartbeat", tag=tag, i=i) for i in range(50)]
             )
             for tag in ("a", "b", "c")
         ]

@@ -1,0 +1,10 @@
+"""Broken-fixture coordinator: sends an undeclared, unhandled ``status``."""
+
+
+def serve(channel, message):
+    channel.send("hello")
+    if message.get("type") == "hello":
+        channel.send("task", payload={})
+    kind = message.get("type")
+    if kind == "result":
+        channel.send("status", detail="sent-but-undeclared-and-unhandled")

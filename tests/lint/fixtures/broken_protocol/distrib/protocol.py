@@ -1,0 +1,9 @@
+"""Deliberately broken protocol fixture: ``shutdown`` is declared but
+never sent or handled anywhere."""
+
+MESSAGE_TYPES = frozenset({"hello", "task", "result", "shutdown"})
+
+
+class Channel:
+    def send(self, type, **fields):
+        return {"type": type, **fields}

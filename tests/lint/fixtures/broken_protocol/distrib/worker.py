@@ -1,0 +1,11 @@
+"""Broken-fixture worker: dispatches on ``ack``, which nothing sends."""
+
+
+def pull(channel, message):
+    channel.send("hello")
+    kind = message.get("type")
+    if kind == "task":
+        channel.send("result", record={})
+    elif kind == "ack":
+        return "handled-but-never-sent-and-undeclared"
+    return None

@@ -1,0 +1,174 @@
+"""Baseline round-trip, staleness, and forbidden-prefix policy tests."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from conftest import rules_of
+
+from repro.lint.baseline import (
+    BaselineError,
+    forbidden_entries,
+    load_baseline,
+    render_baseline,
+)
+from repro.lint.engine import lint_root, source_lines_map
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+DIRTY = "import time\nstamp = time.time()\n"
+
+
+class TestRoundTrip:
+    def test_written_baseline_makes_the_tree_clean(self, tmp_path, lint_tree):
+        lint_tree({"analysis/sim.py": DIRTY})
+        unbaselined = lint_root(tmp_path)
+        assert rules_of(unbaselined) == ["wall-clock"]
+
+        baseline_file = tmp_path / "baseline.json"
+        baseline_file.write_text(
+            render_baseline(unbaselined.findings, source_lines_map(tmp_path)),
+            encoding="utf-8",
+        )
+
+        result = lint_root(tmp_path, baseline_path=baseline_file)
+        assert result.clean
+        assert rules_of(result) == []
+        assert len(result.baselined) == 1
+
+    def test_entries_are_keyed_by_content_not_line_number(self, tmp_path, lint_tree):
+        lint_tree({"analysis/sim.py": DIRTY})
+        baseline_file = tmp_path / "baseline.json"
+        baseline_file.write_text(
+            render_baseline(lint_root(tmp_path).findings, source_lines_map(tmp_path)),
+            encoding="utf-8",
+        )
+
+        # Shift the offending line down; the baseline must still match.
+        shifted = "# a new comment\n" + DIRTY
+        (tmp_path / "analysis" / "sim.py").write_text(shifted, encoding="utf-8")
+        result = lint_root(tmp_path, baseline_path=baseline_file)
+        assert result.clean
+        assert len(result.baselined) == 1
+
+    def test_editing_the_offending_line_invalidates_the_entry(self, tmp_path, lint_tree):
+        lint_tree({"analysis/sim.py": DIRTY})
+        baseline_file = tmp_path / "baseline.json"
+        baseline_file.write_text(
+            render_baseline(lint_root(tmp_path).findings, source_lines_map(tmp_path)),
+            encoding="utf-8",
+        )
+
+        edited = "import time\nstamp = time.time() + 1.0\n"
+        (tmp_path / "analysis" / "sim.py").write_text(edited, encoding="utf-8")
+        result = lint_root(tmp_path, baseline_path=baseline_file)
+        assert not result.clean
+        assert rules_of(result) == ["wall-clock"]
+        assert len(result.stale_baseline) == 1
+
+
+class TestStaleness:
+    def test_stale_entries_fail_the_run_even_with_no_findings(self, tmp_path, lint_tree):
+        baseline_file = tmp_path / "baseline.json"
+        baseline_file.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "entries": [
+                        {
+                            "rule": "wall-clock",
+                            "path": "analysis/gone.py",
+                            "line": "stamp = time.time()",
+                        }
+                    ],
+                }
+            ),
+            encoding="utf-8",
+        )
+        result = lint_tree({"analysis/sim.py": "x = 1\n"}, baseline=baseline_file)
+        assert rules_of(result) == []
+        assert result.stale_baseline == [
+            ("wall-clock", "analysis/gone.py", "stamp = time.time()")
+        ]
+        assert not result.clean
+
+
+class TestForbiddenPrefixes:
+    @pytest.mark.parametrize("prefix", ["net/", "distrib/"])
+    def test_hot_layer_entries_are_rejected(self, prefix, tmp_path, lint_tree):
+        baseline_file = tmp_path / "baseline.json"
+        baseline_file.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "entries": [
+                        {
+                            "rule": "wall-clock",
+                            "path": f"{prefix}sim.py",
+                            "line": "stamp = time.time()",
+                        }
+                    ],
+                }
+            ),
+            encoding="utf-8",
+        )
+        result = lint_tree({f"{prefix}sim.py": DIRTY}, baseline=baseline_file)
+        assert result.forbidden_baseline == [
+            ("wall-clock", f"{prefix}sim.py", "stamp = time.time()")
+        ]
+        assert not result.clean
+
+    def test_forbidden_entries_helper(self, tmp_path):
+        baseline_file = tmp_path / "baseline.json"
+        baseline_file.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "entries": [
+                        {"rule": "wall-clock", "path": "net/sim.py", "line": "x"},
+                        {"rule": "wall-clock", "path": "analysis/sim.py", "line": "y"},
+                    ],
+                }
+            ),
+            encoding="utf-8",
+        )
+        baseline = load_baseline(baseline_file)
+        assert forbidden_entries(baseline) == [("wall-clock", "net/sim.py", "x")]
+
+
+class TestMalformed:
+    def test_unreadable_baseline_raises(self, tmp_path):
+        missing = tmp_path / "nope.json"
+        with pytest.raises(BaselineError):
+            load_baseline(missing)
+
+    def test_non_object_baseline_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("[1, 2, 3]", encoding="utf-8")
+        with pytest.raises(BaselineError):
+            load_baseline(bad)
+
+    def test_entry_missing_keys_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(
+            json.dumps({"version": 1, "entries": [{"rule": "wall-clock"}]}),
+            encoding="utf-8",
+        )
+        with pytest.raises(BaselineError):
+            load_baseline(bad)
+
+
+class TestCommittedBaseline:
+    def test_committed_baseline_is_empty_and_well_formed(self):
+        baseline = load_baseline(REPO_ROOT / "lint_baseline.json")
+        assert sum(baseline.values()) == 0
+
+    def test_shipped_tree_is_clean_under_committed_baseline(self):
+        result = lint_root(
+            REPO_ROOT / "src" / "repro",
+            baseline_path=REPO_ROOT / "lint_baseline.json",
+        )
+        assert result.clean, [finding.render() for finding in result.findings]
