@@ -21,16 +21,25 @@ core), and ``--workers host:port,...`` dials out to persistent agents
 (``worker --listen PORT``) instead.  Results land in the same ``results/``
 tree either way — caching and ``--report`` work unchanged.
 
+Closed-loop cells ride the same machinery: ``--controller gcc`` (or any
+preset name / inline JSON spec, see ``repro.net.control``) adds the
+``closed_loop_session`` experiment to the grid with that sender controller
+in every scenario, so feedback-driven runs sweep and cache like any other
+axis.
+
 Run with:
     PYTHONPATH=src python examples/sweep_scenarios.py                     # full default grid
-    PYTHONPATH=src python examples/sweep_scenarios.py --smoke --report    # 4-cell CI smoke run + report
+    PYTHONPATH=src python examples/sweep_scenarios.py --smoke --report    # 8-cell CI smoke run + report
     PYTHONPATH=src python examples/sweep_scenarios.py --corpus lte_drive loss_ladder --report
+    PYTHONPATH=src python examples/sweep_scenarios.py --controller aimd --report
     PYTHONPATH=src python examples/sweep_scenarios.py --serve 0.0.0.0:7071   # distribute cells
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import statistics
 
 from repro.analysis import (
@@ -44,6 +53,7 @@ from repro.analysis import (
     trace_scenario,
     write_report,
 )
+from repro.net.control import preset_controller_spec
 from repro.net.traces import list_families
 
 #: Keep runner costs modest so the full grid finishes in well under a minute.
@@ -68,8 +78,18 @@ SCENARIOS = (
 )
 
 #: The smoke grid keeps two seeds so the --report aggregation exercises real
-#: across-seed statistics (mean ± CI) even in CI.
-SMOKE_SCENARIOS = SCENARIOS[:2]
+#: across-seed statistics (mean ± CI) even in CI.  Each smoke scenario
+#: carries a controller spec so the closed-loop cells (and, through the
+#: dispatcher smoke step, the distributed wire format) exercise the sender
+#: control plane end-to-end; the open-loop experiment simply ignores the
+#: kwarg (the registry filters by runner signature).
+SMOKE_SCENARIOS = tuple(
+    dataclasses.replace(
+        scenario,
+        overrides={**scenario.overrides, "controller": preset_controller_spec("gcc")},
+    )
+    for scenario in SCENARIOS[:2]
+)
 SMOKE_SEEDS = (0, 1)
 
 EXPERIMENTS = ("figure2_redundancy", "figure3_latency", "end_to_end_turn")
@@ -104,26 +124,47 @@ def _headline_metric(experiment: str, cells: list) -> str:
         if experiment == "end_to_end_turn":
             values = [cell.result["response_latency_ms"] for cell in cells]
             return f"response latency ≈ {statistics.mean(values):.1f} ms"
+        if experiment == "closed_loop_session":
+            values = [cell.result["delivered_rate_bps"] for cell in cells]
+            return f"delivered ≈ {statistics.mean(values) / 1e6:.2f} Mbps"
     except (KeyError, TypeError, statistics.StatisticsError):
         pass
     return "(see JSON)"
 
 
+def parse_controller_spec(value: str) -> dict:
+    """``--controller`` accepts a preset name or an inline JSON spec."""
+    if value.lstrip().startswith("{"):
+        return json.loads(value)
+    return preset_controller_spec(value)
+
+
 def build_grid(args: argparse.Namespace) -> SweepGrid:
     if args.smoke:
         return SweepGrid(
-            experiments=("figure3_latency",),
+            experiments=("figure3_latency", "closed_loop_session"),
             scenarios=SMOKE_SCENARIOS,
             seeds=SMOKE_SEEDS,
         )
     seeds = tuple(range(args.seeds)) if args.seeds is not None else SEEDS
+    experiments = EXPERIMENTS
     if args.corpus is not None:
         families = args.corpus or None  # bare --corpus means every family
         scenarios = tuple(
             corpus_scenarios(seed=args.corpus_seed, families=families, **FAST)
         )
-        return SweepGrid(experiments=EXPERIMENTS, scenarios=scenarios, seeds=seeds)
-    return SweepGrid(experiments=EXPERIMENTS, scenarios=SCENARIOS, seeds=seeds)
+    else:
+        scenarios = SCENARIOS
+    if args.controller is not None:
+        spec = parse_controller_spec(args.controller)
+        experiments = experiments + ("closed_loop_session",)
+        scenarios = tuple(
+            dataclasses.replace(
+                scenario, overrides={**scenario.overrides, "controller": spec}
+            )
+            for scenario in scenarios
+        )
+    return SweepGrid(experiments=experiments, scenarios=scenarios, seeds=seeds)
 
 
 def main() -> None:
@@ -131,7 +172,17 @@ def main() -> None:
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="run a 4-cell grid (1 experiment × 2 scenarios × 2 seeds) for CI",
+        help="run an 8-cell grid (2 experiments × 2 scenarios × 2 seeds) for CI",
+    )
+    parser.add_argument(
+        "--controller",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "add a closed_loop_session experiment with this sender controller "
+            "to every scenario: a preset name (gcc, aimd, fixed, gcc-buffer, "
+            "aimd-buffer, gcc-ai, aimd-ai) or an inline JSON spec"
+        ),
     )
     parser.add_argument(
         "--corpus",

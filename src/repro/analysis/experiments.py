@@ -10,6 +10,8 @@ next to the paper's numbers.
 from __future__ import annotations
 
 import copy
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -41,8 +43,20 @@ from ..net.emulator import (
     PathConfig,
     expected_loss_rate,
 )
+from ..net.control import (
+    controller_from_spec,
+    controller_to_spec,
+    preset_controller_spec,
+)
+from ..net.fec import FecConfig
 from ..net.jitter_buffer import JitterBuffer, PassthroughBuffer, frames_in_capture_order
-from ..net.transport import run_fixed_bitrate_session
+from ..net.transport import (
+    FixedBitrateWorkload,
+    TransportConfig,
+    VideoTransportSession,
+    drive_closed_loop,
+    run_fixed_bitrate_session,
+)
 from ..video.codec import BlockCodec
 from ..video.frames import VideoFrame
 from ..video.quality import region_quality
@@ -619,6 +633,146 @@ def run_token_streaming_feasibility(
         region = (coarse_region[0], coarse[0], coarse_region[2], coarse[1])
         recovery_quality[float(loss)] = region_quality(trimmed, recovered, region).readable_score
     return {"bitrates": bitrates, "recovery_quality": recovery_quality}
+
+
+# ---------------------------------------------------------------------------
+# Closed-loop sessions — receiver reports driving congestion control + ABR
+# ---------------------------------------------------------------------------
+
+
+@experiment(
+    "closed_loop_session",
+    description="Feedback-driven session: receiver reports, congestion control, ABR, FEC",
+    default_scenario={
+        "loss_model": {"kind": "bernoulli", "loss_rate": 0.01},
+        "controller": {
+            "kind": "closed_loop",
+            "estimator": {"kind": "gcc"},
+            "abr": {"kind": "throughput"},
+        },
+    },
+)
+def run_closed_loop_session(
+    controller: Optional[dict] = None,
+    duration_s: float = 10.0,
+    fps: float = 30.0,
+    bandwidth_bps: float = 10_000_000.0,
+    one_way_delay_s: float = 0.030,
+    report_interval_s: float = 0.2,
+    initial_bitrate_bps: float = 1_000_000.0,
+    fec_group_size: int = 0,
+    seed: int = 1,
+    loss_model: Optional[LossModel] = None,
+    bandwidth_trace: Optional[BandwidthTrace] = None,
+) -> dict[str, object]:
+    """One feedback-driven transport session over the emulated path.
+
+    ``controller`` is a JSON-able spec (see
+    :func:`repro.net.control.controller_from_spec`) so sweep cells carrying
+    it stay content-hash cacheable; it defaults to the GCC × throughput-ABR
+    composition.  ``fec_group_size`` > 0 enables FEC, whose redundancy the
+    controller may then retune per report.  The ``action_digest`` field
+    fingerprints the full ``(time, target, fec_overhead)`` action sequence —
+    two runs (or the two delivery modes) agree on it iff the controller
+    behaved bit-identically.
+    """
+    spec = controller if controller is not None else preset_controller_spec("gcc")
+    sender_controller = controller_from_spec(spec)
+    model = copy.deepcopy(loss_model) if loss_model is not None else BernoulliLoss(0.01)
+    session = VideoTransportSession(
+        uplink_config=PathConfig(
+            bandwidth_bps=bandwidth_bps,
+            propagation_delay_s=one_way_delay_s,
+            loss_model=model,
+            bandwidth_trace=bandwidth_trace,
+            seed=seed,
+        ),
+        transport_config=TransportConfig(
+            report_interval_s=report_interval_s,
+            fec=FecConfig(group_size=fec_group_size) if fec_group_size else None,
+        ),
+        controller=sender_controller,
+    )
+    drive_closed_loop(
+        session, FixedBitrateWorkload(bitrate_bps=initial_bitrate_bps, fps=fps), duration_s
+    )
+    summary = session.stats.summary()
+    actions = [
+        [time, action.target_bitrate_bps, action.fec_overhead_ratio]
+        for time, action in session.control_log
+    ]
+    targets = [row[1] for row in actions]
+    delivered_bits = 8.0 * sum(event.size_bytes for event in session.receiver.delivered_frames)
+    return {
+        "controller": controller_to_spec(sender_controller),
+        "frames_sent": summary.count,
+        "frames_delivered": summary.delivered,
+        "delivery_ratio": summary.delivery_ratio,
+        "mean_latency_ms": summary.mean_ms,
+        "p95_latency_ms": summary.p95_ms,
+        "mean_retransmissions": summary.mean_retransmissions,
+        "reports_received": session.reports_received,
+        "actions_applied": len(actions),
+        "mean_target_bitrate_bps": float(np.mean(targets)) if targets else float(initial_bitrate_bps),
+        "final_target_bitrate_bps": float(targets[-1]) if targets else float(initial_bitrate_bps),
+        "offered_rate_bps": 8.0 * session.sender.bytes_sent / duration_s,
+        "delivered_rate_bps": delivered_bits / duration_s,
+        "action_digest": hashlib.sha256(json.dumps(actions).encode()).hexdigest(),
+    }
+
+
+#: Controller presets spanning the closed-loop study: GCC vs AIMD estimators
+#: crossed with throughput / buffer / AI-oriented ABR, plus the open-loop
+#: fixed-bitrate baseline.
+CLOSED_LOOP_CONTROLLERS: tuple[str, ...] = (
+    "gcc",
+    "aimd",
+    "fixed",
+    "gcc-buffer",
+    "aimd-buffer",
+    "gcc-ai",
+    "aimd-ai",
+)
+
+
+def closed_loop_grid(
+    seed: int = 0,
+    families: Optional[Sequence[str]] = None,
+    controllers: Sequence[str] = CLOSED_LOOP_CONTROLLERS,
+    seeds: Sequence[int] = (0, 1),
+    duration_s: float = 8.0,
+):
+    """The GCC-vs-AIMD-vs-fixed × ABR closed-loop grid over the corpus.
+
+    Every scenario of the nine-family corpus (or a ``families`` subset) is
+    crossed with each named controller preset; the controller spec rides in
+    ``Scenario.overrides`` so it reaches the runner as a plain keyword
+    argument and is covered by the content-hash cell cache key.  Results
+    aggregate through the existing report tables like any other sweep.
+    """
+    from ..net.traces import corpus
+    from .sweeps import Scenario, SweepGrid
+
+    scenarios = []
+    for scenario in corpus(seed=seed, families=families):
+        for name in controllers:
+            scenarios.append(
+                Scenario(
+                    name=f"{scenario.name}+{name}",
+                    loss_model=scenario.loss_model,
+                    bandwidth_trace=scenario.bandwidth_trace,
+                    overrides={
+                        **scenario.overrides,
+                        "controller": preset_controller_spec(name),
+                        "duration_s": duration_s,
+                    },
+                )
+            )
+    return SweepGrid(
+        experiments=("closed_loop_session",),
+        scenarios=tuple(scenarios),
+        seeds=tuple(seeds),
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -19,6 +19,13 @@ Workloads:
   bursty session through the batched send path (the send side is batched,
   delivery stays per-packet for decode-order exactness, so the gain is
   modest and the workload is gated on equivalence, not speedup).
+* ``closed_loop_session`` — a feedback-driven session: receiver reports
+  over the feedback path, a GCC + throughput-ABR controller retuning the
+  sender per report.  Like the FEC session it is gated on equivalence
+  rather than speedup — the gate proves the *control trajectory* (reports
+  delivered, every action, every frame completion) is bit-identical
+  between the scalar and fast paths, including over lossy/jittery
+  feedback channels and with adaptive FEC.
 * ``smoke_sweep`` — an 18-cell ``figure3_latency`` sweep (3 scenarios × 6
   seeds) through the multiprocessing pool with the cell cache disabled,
   the workload the ≥4× target is measured on.
@@ -51,6 +58,7 @@ from typing import Any, Callable, Iterator, Optional
 import numpy as np
 
 from ..core import wallclock
+from ..net.control import controller_from_spec, preset_controller_spec
 from ..net.emulator import (
     FASTPATH_ENV,
     BandwidthTrace,
@@ -65,6 +73,7 @@ from ..net.transport import (
     FixedBitrateWorkload,
     TransportConfig,
     VideoTransportSession,
+    drive_closed_loop,
     drive_fixed_bitrate,
     run_fixed_bitrate_session,
 )
@@ -198,6 +207,62 @@ def _run_fec_session(
         tuple(sorted(session.fec_summary().items())),
         session.uplink.stats.packets_delivered,
         session.sender.retransmissions_sent,
+        hash(completions),
+    )
+
+
+def _run_closed_loop_session(
+    duration_s: float,
+    seed: int = 5,
+    jitter_std_s: float = 0.0,
+    feedback_loss_rate: float = 0.0,
+    feedback_jitter_std_s: float = 0.0,
+    fec: bool = False,
+) -> tuple:
+    """One feedback-driven session (GCC + throughput ABR over receiver
+    reports); returns every observable that must match between the scalar
+    path and the batched fast path: the latency summary, the number of
+    reports that survived the feedback path, the full controller action
+    sequence, and per-frame completion instants (bit-exact)."""
+    uplink = PathConfig(
+        loss_model=GilbertElliottLoss(p_good_to_bad=0.04, p_bad_to_good=0.3, loss_in_bad=0.5),
+        seed=seed,
+        jitter_std_s=jitter_std_s,
+    )
+    feedback = PathConfig(
+        loss_model=BernoulliLoss(feedback_loss_rate),
+        seed=seed + 1,
+        jitter_std_s=feedback_jitter_std_s,
+    )
+    session = VideoTransportSession(
+        uplink_config=uplink,
+        feedback_config=feedback,
+        transport_config=TransportConfig(
+            report_interval_s=0.2,
+            fec=FecConfig(group_size=5) if fec else None,
+        ),
+        controller=controller_from_spec(preset_controller_spec("gcc")),
+    )
+    drive_closed_loop(session, FixedBitrateWorkload(bitrate_bps=2e6), duration_s)
+    summary = session.stats.summary()
+    actions = tuple(
+        (when, action.target_bitrate_bps, action.fec_overhead_ratio)
+        for when, action in session.control_log
+    )
+    completions = tuple(
+        (event.frame_id, event.complete_time) for event in session.receiver.delivered_frames
+    )
+    return (
+        summary.count,
+        summary.delivered,
+        summary.mean_s,
+        summary.p99_s,
+        summary.mean_retransmissions,
+        session.uplink.stats.packets_delivered,
+        session.feedback.stats.packets_delivered,
+        session.reports_received,
+        len(actions),
+        hash(actions),
         hash(completions),
     )
 
@@ -416,6 +481,27 @@ def equivalence_report(session_duration_s: float = 2.0) -> dict[str, bool]:
         with fastpath_mode(True):
             fast = _run_fec_session(session_duration_s, **kwargs)
         checks[label] = scalar == fast
+
+    # Closed-loop sessions: receiver reports ride the feedback path, a GCC +
+    # ABR controller retunes the sender per report, and (optionally) FEC
+    # redundancy adapts mid-session.  The *entire* control trajectory —
+    # report count, every action, every completion instant — must be
+    # bit-identical between the scalar per-packet path and the batched fast
+    # path, including when the feedback channel itself is lossy or jittery.
+    closed_loop_variants = {
+        "closed_loop_stats_identical": dict(),
+        "closed_loop_stats_identical_jittered": dict(jitter_std_s=0.002),
+        "closed_loop_stats_identical_lossy_feedback": dict(
+            feedback_loss_rate=0.05, feedback_jitter_std_s=0.002
+        ),
+        "closed_loop_stats_identical_fec": dict(fec=True),
+    }
+    for label, kwargs in closed_loop_variants.items():
+        with fastpath_mode(False):
+            scalar = _run_closed_loop_session(session_duration_s, **kwargs)
+        with fastpath_mode(True):
+            fast = _run_closed_loop_session(session_duration_s, **kwargs)
+        checks[label] = scalar == fast
     return checks
 
 
@@ -538,6 +624,22 @@ def canonical_workloads(
                 "duration_s": session_s,
                 "loss_model": "gilbert_elliott",
                 "note": "FEC session through the batched send path (per-packet delivery)",
+            },
+        }
+    )
+    entries.append(
+        {
+            "name": "closed_loop_session",
+            "workload": lambda: _run_closed_loop_session(session_s),
+            "units": session_s,
+            "detail": {
+                "duration_s": session_s,
+                "loss_model": "gilbert_elliott",
+                "note": (
+                    "feedback-driven session (receiver reports + GCC/ABR "
+                    "controller); gated on bit-identical control trajectories, "
+                    "not speedup"
+                ),
             },
         }
     )

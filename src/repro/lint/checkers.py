@@ -68,6 +68,9 @@ HOT_SLOTS_MODULES = frozenset(
         "net/packet.py",
         "net/events.py",
         "net/transport.py",
+        "net/congestion.py",
+        "net/abr.py",
+        "net/control.py",
         "distrib/protocol.py",
     }
 )

@@ -23,7 +23,7 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 
-@dataclass
+@dataclass(slots=True)
 class AbrDecision:
     """The outcome of one ABR decision."""
 
@@ -39,7 +39,7 @@ class AbrPolicy:
         raise NotImplementedError  # pragma: no cover - interface
 
 
-@dataclass
+@dataclass(slots=True)
 class ThroughputAbr(AbrPolicy):
     """Traditional throughput-based ABR: track the bandwidth estimate.
 
@@ -67,7 +67,7 @@ class ThroughputAbr(AbrPolicy):
         return AbrDecision(bitrate_bps=chosen, reason="throughput", headroom_ratio=headroom)
 
 
-@dataclass
+@dataclass(slots=True)
 class BufferBasedAbr(AbrPolicy):
     """Buffer-based ABR in the spirit of BBA (Huang et al., SIGCOMM 2014).
 
@@ -107,7 +107,7 @@ class BufferBasedAbr(AbrPolicy):
         return AbrDecision(bitrate_bps=chosen, reason="buffer", headroom_ratio=headroom)
 
 
-@dataclass
+@dataclass(slots=True)
 class AiOrientedAbr(AbrPolicy):
     """AI-oriented bitrate selection: the yellow region of Figure 3.
 

@@ -18,7 +18,7 @@ from typing import Optional
 import numpy as np
 
 
-@dataclass
+@dataclass(slots=True)
 class RateSample:
     """One feedback report from the receiver used to update the controller."""
 
@@ -39,7 +39,7 @@ class BandwidthEstimator:
         raise NotImplementedError
 
 
-@dataclass
+@dataclass(slots=True)
 class GccConfig:
     """Tuning constants for the GCC-style controller."""
 
@@ -126,7 +126,7 @@ class GoogleCongestionControl(BandwidthEstimator):
         return self._rate
 
 
-@dataclass
+@dataclass(slots=True)
 class AimdConfig:
     """Tuning constants for the AIMD controller."""
 
@@ -159,7 +159,7 @@ class AimdController(BandwidthEstimator):
         return self._rate
 
 
-@dataclass
+@dataclass(slots=True)
 class FeedbackAggregator:
     """Builds :class:`RateSample` reports from receiver-side observations.
 

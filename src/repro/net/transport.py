@@ -16,6 +16,14 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from .control import (
+    REPORT_SIZE_BYTES,
+    ControlAction,
+    ReceiverReport,
+    ReportCollector,
+    SenderController,
+    fec_group_size_for_overhead,
+)
 from .emulator import BernoulliLoss, EmulatedPath, PathConfig, fastpath_enabled
 from .events import DeadlineScheduler, EventLoop
 from .fec import FecConfig, FecEncoder, FecDecoder
@@ -48,6 +56,9 @@ class TransportConfig:
     max_nack_rounds: int = 20
     #: Optional forward error correction applied per frame.
     fec: Optional[FecConfig] = None
+    #: Interval between RTCP-style receiver reports on the feedback path;
+    #: ``0`` disables report emission (the open-loop default).
+    report_interval_s: float = 0.0
 
 
 @dataclass(slots=True)
@@ -155,9 +166,30 @@ class VideoSender:
         # per-burst memo.
         self._parity_sizes_bytes = -1
         self._parity_sizes: Optional[np.ndarray] = None
+        #: Latest controller-set target; ``None`` until an action arrives.
+        #: Drivers derive frame sizes from this (see ``drive_closed_loop``).
+        self.target_bitrate_bps: Optional[float] = None
         self.bytes_sent = 0
         self.packets_sent = 0
         self.retransmissions_sent = 0
+
+    def apply_action(self, action: ControlAction) -> None:
+        """Apply one control decision: retarget bitrate and FEC redundancy.
+
+        The FEC group size realising the requested overhead takes effect from
+        the next frame; parity packets are self-describing (``covers`` /
+        ``sizes`` metadata), so in-flight groups from the old size decode
+        unchanged.
+        """
+        self.target_bitrate_bps = float(action.target_bitrate_bps)
+        encoder = self._fec_encoder
+        if encoder is not None and action.fec_overhead_ratio is not None:
+            group_size = fec_group_size_for_overhead(action.fec_overhead_ratio)
+            if group_size != encoder.config.group_size:
+                encoder.config = FecConfig(group_size=group_size)
+                # Parity sizing is a function of the group size; drop the memo.
+                self._parity_sizes_bytes = -1
+                self._parity_sizes = None
 
     def send_frame(self, frame_id: int, size_bytes: int, capture_time: float) -> list[Packet]:
         """Packetise and transmit one encoded frame.
@@ -369,6 +401,7 @@ class VideoReceiver:
         on_frame: Optional[Callable[[FrameDeliveryEvent], None]] = None,
         send_sequence_nack: Optional[Callable[[SequenceNackRequest], None]] = None,
         block_mode: bool = False,
+        send_report: Optional[Callable[[ReceiverReport], None]] = None,
     ) -> None:
         self.loop = loop
         self.config = config
@@ -410,8 +443,57 @@ class VideoReceiver:
         self._highest_sequence: int = -1
         self._missing_sequence_rounds: dict[int, int] = {}
         self._sequence_check_pending = False
+        # RTCP-style receiver reports: raw wire-packet samples recorded by
+        # whichever delivery mode is active, aggregated on the absolute
+        # report-interval grid by the shared DeadlineScheduler so report
+        # timing and contents are bit-identical across modes.
+        self._send_report = send_report
+        self._reports = (
+            ReportCollector(config.report_interval_s)
+            if send_report is not None and config.report_interval_s > 0
+            else None
+        )
+
+    # --- receiver reports --------------------------------------------------
+
+    def _report_record(
+        self, arrival_time: float, send_time: float, size_bytes: int, sequence: int
+    ) -> None:
+        """Record one wire packet, (re)arming the report chain if dormant.
+
+        ``sequence`` is the video-space sequence, or -1 for packets outside
+        that space (FEC parity), which count towards rate and delay only.
+        """
+        armed = self._reports.record(arrival_time, send_time, size_bytes, sequence)
+        if armed is not None:
+            tick, deadline = armed
+            # tie_time: the scalar path arms this chain while processing the
+            # recorded packet, i.e. at that packet's arrival.
+            self._deadlines.schedule_at(
+                deadline,
+                lambda: self._report_fire(tick),
+                tie_time=arrival_time,
+                priority=2,
+            )
+
+    def _report_fire(self, tick: int) -> None:
+        report, armed = self._reports.collect(self.loop.now, tick)
+        if armed is not None:
+            next_tick, deadline = armed
+            self._deadlines.schedule_at(
+                deadline, lambda: self._report_fire(next_tick), priority=2
+            )
+        if report is not None:
+            self._send_report(report)
 
     def on_packet(self, packet: Packet, arrival_time: float) -> None:
+        if self._reports is not None:
+            self._report_record(
+                arrival_time,
+                packet.send_time,
+                packet.size_bytes,
+                -1 if packet.packet_type == PacketType.FEC else packet.sequence,
+            )
         if packet.packet_type == PacketType.FEC:
             recovered = None
             if self._fec_decoder is not None:
@@ -538,6 +620,16 @@ class VideoReceiver:
         NACK/completion timeline matches per-packet delivery bit-for-bit.
         """
         config = self.config
+        if self._reports is not None:
+            # Per-sample recording keyed on exact arrival timestamps; the
+            # collector's tick guard tolerates unordered runs recording out
+            # of arrival order, so no sort is needed here.
+            first_sequence = context.first_sequence
+            send_time = context.send_time
+            for offset, arrival in zip(offsets.tolist(), arrivals.tolist()):
+                self._report_record(
+                    arrival, send_time, context.packet_size(offset), first_sequence + offset
+                )
         # The window records the span this run actually covers (losses
         # between runs surface as the sequence jump when the next run, or a
         # later burst, records) — runs of one burst must not re-initialise
@@ -679,6 +771,8 @@ class VideoReceiver:
         send_time: float,
         arrival_time: float,
     ) -> None:
+        if self._reports is not None:
+            self._report_record(arrival_time, send_time, size_bytes, sequence)
         if sequence >= 0:
             discovery = self._window.record_single(sequence, arrival_time)
             if discovery != np.inf:
@@ -874,8 +968,13 @@ class VideoReceiver:
 class VideoTransportSession:
     """A complete sender/receiver pair over an emulated uplink and feedback path.
 
-    The feedback path carries NACKs from the receiver back to the sender with
+    The feedback path carries NACKs — and, when ``report_interval_s`` is set,
+    RTCP-style receiver reports — from the receiver back to the sender with
     its own propagation delay (the downlink in the paper's asymmetric setup).
+    An optional :class:`SenderController` closes the loop: each report that
+    survives the feedback path becomes a :class:`ControlAction` applied to
+    the sender (target bitrate and FEC redundancy), logged in
+    ``control_log`` as ``(apply_time, action)`` pairs.
     """
 
     def __init__(
@@ -884,6 +983,7 @@ class VideoTransportSession:
         feedback_config: Optional[PathConfig] = None,
         transport_config: Optional[TransportConfig] = None,
         on_frame: Optional[Callable[[FrameDeliveryEvent], None]] = None,
+        controller: Optional[SenderController] = None,
     ) -> None:
         self.loop = EventLoop()
         self.transport_config = transport_config or TransportConfig()
@@ -932,6 +1032,7 @@ class VideoTransportSession:
             on_frame=on_frame,
             send_sequence_nack=self._queue_sequence_nack,
             block_mode=self.block_mode,
+            send_report=self._queue_report,
         )
         self.sender = VideoSender(
             self.loop,
@@ -941,6 +1042,12 @@ class VideoTransportSession:
             block_mode=self.block_mode or self.packet_block_mode,
         )
         self._nack_sequence = 0
+        self.controller = controller
+        #: ``(apply_time, action)`` pairs in application order.
+        self.control_log: list[tuple[float, ControlAction]] = []
+        self.reports_received = 0
+        if controller is not None:
+            self._apply_action(controller.initial_action())
 
     # --- wiring ---------------------------------------------------------
 
@@ -1032,12 +1139,44 @@ class VideoTransportSession:
         self._nack_sequence += 1
         self.feedback.send(packet)
 
+    def _queue_report(self, report: ReceiverReport) -> None:
+        """Put one receiver report on the feedback path (RTCP RR analogue).
+
+        Reports share the NACK packets' feedback sequence space and are
+        subject to the same loss/jitter, so they can arrive late, reordered,
+        or not at all — the controller sees exactly what the wire delivers.
+        """
+        packet = Packet(
+            sequence=self._nack_sequence,
+            frame_id=-1,
+            index_in_frame=0,
+            packets_in_frame=1,
+            size_bytes=REPORT_SIZE_BYTES,
+            capture_time=report.report_time,
+            send_time=self.loop.now,
+            packet_type=PacketType.ACK,
+            metadata={"report": report},
+        )
+        self._nack_sequence += 1
+        self.feedback.send(packet)
+
+    def _apply_action(self, action: ControlAction) -> None:
+        self.control_log.append((self.loop.now, action))
+        self.sender.apply_action(action)
+
     def _deliver_feedback(self, packet: Packet, arrival_time: float) -> None:
         request = packet.metadata.get("request")
         if isinstance(request, NackRequest):
             self.sender.on_nack(request)
-        elif isinstance(request, SequenceNackRequest):
+            return
+        if isinstance(request, SequenceNackRequest):
             self.sender.on_sequence_nack(request)
+            return
+        report = packet.metadata.get("report")
+        if report is not None:
+            self.reports_received += 1
+            if self.controller is not None:
+                self._apply_action(self.controller.on_report(report, self.loop.now))
 
     # --- driving --------------------------------------------------------
 
@@ -1124,6 +1263,47 @@ def drive_fixed_bitrate(
 
     def _send(frame_id: int) -> None:
         session.send_frame(frame_id, sizes[frame_id], capture_time=frame_id * interval)
+        if frame_id + 1 < frame_count:
+            session.loop.schedule_at(
+                (frame_id + 1) * interval, lambda: _send(frame_id + 1)
+            )
+
+    session.loop.schedule_at(0.0, lambda: _send(0))
+    session.run(until=duration_s + 5.0)
+
+
+def drive_closed_loop(
+    session: VideoTransportSession,
+    workload: FixedBitrateWorkload,
+    duration_s: float,
+) -> None:
+    """Adaptive twin of :func:`drive_fixed_bitrate`.
+
+    Each frame's size is derived from the sender's *current* target bitrate
+    at its capture instant, so controller actions applied between frames
+    re-shape the very next frame.  ``workload.bitrate_bps`` only seeds the
+    rate until the first action lands (a session constructed with a
+    controller applies its initial action up front, so with a controller the
+    workload rate is never used).  Frame send instants are the same fixed
+    fps grid as the open-loop driver, and actions apply at report-arrival
+    instants that are event-exact across delivery modes, so the closed-loop
+    frame stream is bit-identical between the scalar and batched paths.
+    """
+    frame_count = max(1, int(round(duration_s * workload.fps)))
+    interval = 1.0 / workload.fps
+    jitter = None
+    if workload.size_jitter > 0:
+        rng = np.random.default_rng(workload.seed)
+        jitter = rng.normal(1.0, workload.size_jitter, size=frame_count).clip(0.3, 3.0)
+
+    def _send(frame_id: int) -> None:
+        target = session.sender.target_bitrate_bps
+        if target is None:
+            target = workload.bitrate_bps
+        size = target / workload.fps / 8.0
+        if jitter is not None:
+            size *= float(jitter[frame_id])
+        session.send_frame(frame_id, max(int(size), 1), capture_time=frame_id * interval)
         if frame_id + 1 < frame_count:
             session.loop.schedule_at(
                 (frame_id + 1) * interval, lambda: _send(frame_id + 1)

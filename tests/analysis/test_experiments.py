@@ -3,6 +3,8 @@
 import pytest
 
 from repro.analysis import (
+    CLOSED_LOOP_CONTROLLERS,
+    closed_loop_grid,
     format_figure3,
     format_figure5,
     format_figure9,
@@ -10,6 +12,7 @@ from repro.analysis import (
     headline_subtraction,
     run_ablation_patch_size,
     run_ablation_token_pruning,
+    run_closed_loop_session,
     run_end_to_end_turn,
     run_figure10_qp_allocation,
     run_figure2_redundancy,
@@ -23,6 +26,7 @@ from repro.analysis import (
     transmission_latency_table,
 )
 from repro.analysis.latency import BudgetScenario, budget_for_scenario
+from repro.net.control import preset_controller_spec
 
 
 class TestFigureRunners:
@@ -123,3 +127,69 @@ class TestLatencyHelpers:
     def test_format_mapping_nested(self):
         text = format_mapping("title", {"a": 1.0, "nested": {"b": 2.0}})
         assert "title" in text and "nested" in text
+
+
+class TestClosedLoopExperiment:
+    def test_runner_result_is_jsonable_and_closed_loop(self):
+        import json
+
+        result = run_closed_loop_session(duration_s=2.0)
+        json.dumps(result)  # must not raise: sweep cells persist this verbatim
+        assert result["reports_received"] > 0
+        assert result["actions_applied"] == result["reports_received"] + 1
+        assert result["frames_delivered"] > 0
+        assert result["controller"]["kind"] == "closed_loop"
+        assert 0 < result["delivered_rate_bps"] <= result["offered_rate_bps"] * 1.01
+
+    def test_action_digest_is_deterministic(self):
+        first = run_closed_loop_session(duration_s=1.5)
+        second = run_closed_loop_session(duration_s=1.5)
+        assert first["action_digest"] == second["action_digest"]
+
+    def test_controller_spec_changes_the_digest(self):
+        gcc = run_closed_loop_session(duration_s=1.5)
+        fixed = run_closed_loop_session(
+            controller={"kind": "fixed", "bitrate_bps": 2_000_000.0}, duration_s=1.5
+        )
+        assert gcc["action_digest"] != fixed["action_digest"]
+        assert fixed["controller"]["kind"] == "fixed"
+
+    def test_grid_crosses_corpus_and_controllers(self):
+        grid = closed_loop_grid(families=["congestion_sawtooth"], seeds=(0,))
+        assert grid.experiments == ("closed_loop_session",)
+        assert len(grid.scenarios) == 2 * len(CLOSED_LOOP_CONTROLLERS)
+        assert grid.cell_count == len(grid.scenarios)
+        names = {scenario.name for scenario in grid.scenarios}
+        assert "sawtooth-0+gcc" in names and "sawtooth-0+fixed" in names
+        for scenario in grid.scenarios:
+            assert "controller" in scenario.overrides
+            # Round-trips through JSON (the distributed dispatcher wire format).
+            rebuilt = type(scenario).from_jsonable(scenario.to_jsonable())
+            assert rebuilt == scenario
+
+    def test_closed_loop_cells_sweep_and_cache(self, tmp_path):
+        from repro.analysis import Scenario, SweepGrid, SweepRunner
+
+        grid = SweepGrid(
+            experiments=("closed_loop_session",),
+            scenarios=(
+                Scenario(
+                    name="cl-smoke",
+                    loss_model={"kind": "bernoulli", "loss_rate": 0.02},
+                    overrides={
+                        "controller": preset_controller_spec("aimd"),
+                        "duration_s": 1.5,
+                    },
+                ),
+            ),
+            seeds=(0,),
+        )
+        runner = SweepRunner(results_dir=tmp_path, processes=1)
+        first = runner.run(grid)
+        assert first.executed == 1 and not first.failed_cells
+        result = first.cells[0].result
+        assert result["reports_received"] > 0
+        assert result["controller"]["kind"] == "closed_loop"
+        second = runner.run(grid)
+        assert second.cached == 1 and second.executed == 0
+        assert second.cells[0].result == result
