@@ -242,18 +242,61 @@ def main() -> None:
         default=120.0,
         help="abort a distributed sweep if no worker connects in this many seconds",
     )
+    parser.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "coordinator liveness timeout: a worker silent this long is "
+            "presumed dead and its cells requeue (default "
+            "%(default)s -> repro.distrib.DEFAULT_TIMEOUTS; validated "
+            "against the heartbeat interval)"
+        ),
+    )
+    parser.add_argument(
+        "--max-requeues",
+        type=int,
+        default=None,
+        help=(
+            "times a cell is re-served after its worker dies before it "
+            "resolves to an error record (default: RetryPolicy default)"
+        ),
+    )
+    parser.add_argument(
+        "--no-local-fallback",
+        action="store_true",
+        help=(
+            "fail a distributed sweep when the worker pool empties instead "
+            "of degrading to the local multiprocessing pool"
+        ),
+    )
     args = parser.parse_args()
 
     backend = None
+    fleet_errors: tuple[type[Exception], ...] = ()
     if args.serve is not None or args.workers is not None:
-        from repro.distrib import DistributedBackend
+        from repro.distrib import (
+            ConfigError,
+            DEFAULT_TIMEOUTS,
+            DistributedBackend,
+            NoWorkersError,
+        )
         from repro.distrib.protocol import parse_address
 
-        backend = DistributedBackend(
-            listen=parse_address(args.serve) if args.serve is not None else None,
-            workers=args.workers.split(",") if args.workers else None,
-            startup_timeout_s=args.startup_timeout,
-        )
+        fleet_errors = (NoWorkersError,)
+
+        try:
+            backend = DistributedBackend(
+                listen=parse_address(args.serve) if args.serve is not None else None,
+                workers=args.workers.split(",") if args.workers else None,
+                timeouts=DEFAULT_TIMEOUTS.override(heartbeat_timeout_s=args.heartbeat_timeout),
+                max_requeues=args.max_requeues,
+                startup_timeout_s=args.startup_timeout,
+                local_fallback=not args.no_local_fallback,
+            )
+        except ConfigError as exc:
+            parser.error(str(exc))
         print(f"distributed backend: {backend.describe()}")
 
     grid = build_grid(args)
@@ -261,7 +304,12 @@ def main() -> None:
         results_dir=args.results_dir, processes=args.processes, backend=backend
     )
     print(f"sweeping {grid.cell_count} cells into {args.results_dir}/ ...")
-    report = runner.run(grid)
+    try:
+        report = runner.run(grid)
+    except fleet_errors as exc:
+        # Only reachable with --no-local-fallback: the pool emptied and the
+        # operator asked for an abort instead of local degradation.
+        raise SystemExit(f"error: {exc}") from exc
     summarize(report)
     failed = report.failed_cells
     if failed:

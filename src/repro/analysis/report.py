@@ -22,6 +22,7 @@ from __future__ import annotations
 import argparse
 import json
 import math
+from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterable, Mapping, Optional, Sequence, TYPE_CHECKING
@@ -192,23 +193,33 @@ class ExperimentDigest:
 
 @dataclass(frozen=True)
 class FailedCell:
-    """One cell that produced an error record instead of a result."""
+    """One cell that produced an error record instead of a result.
+
+    ``worker`` is the distributed worker the failure is attributed to
+    (currently set by the coordinator on ``WorkerLost`` records); local
+    failures carry ``None``.  Only *error* records ever name a worker —
+    successful records stay worker-agnostic so a distributed sweep remains
+    byte-identical to a local one.
+    """
 
     experiment: str
     scenario: str
     seed: int
     error_type: str
     message: str
+    worker: Optional[str] = None
 
     @classmethod
     def from_record(cls, record: Mapping[str, Any]) -> "FailedCell":
         error = record.get("error") or {}
+        worker = error.get("worker")
         return cls(
             experiment=str(record["experiment"]),
             scenario=str(record["scenario"]["name"]),
             seed=int(record["seed"]),
             error_type=str(error.get("type", "Error")),
             message=str(error.get("message", "")),
+            worker=str(worker) if worker is not None else None,
         )
 
     def to_jsonable(self) -> dict[str, Any]:
@@ -218,14 +229,24 @@ class FailedCell:
             "seed": self.seed,
             "error_type": self.error_type,
             "message": self.message,
+            "worker": self.worker,
         }
 
     def describe(self) -> str:
         message = self.message if len(self.message) <= 120 else self.message[:117] + "..."
+        suffix = f" [worker {self.worker}]" if self.worker else ""
         return (
             f"{self.experiment} / {self.scenario} / seed {self.seed}: "
-            f"{self.error_type}: {message}"
+            f"{self.error_type}: {message}{suffix}"
         )
+
+
+#: (key in :meth:`SweepDigest.failure_hotspots`, human-readable axis title).
+_HOTSPOT_AXES = (
+    ("error_type", "fault class"),
+    ("cell", "experiment / scenario"),
+    ("worker", "worker"),
+)
 
 
 @dataclass
@@ -246,12 +267,43 @@ class SweepDigest:
     def group_count(self) -> int:
         return sum(len(digest.scenarios) for digest in self.experiments)
 
+    def failure_hotspots(self) -> dict[str, list[tuple[str, int]]]:
+        """Where the failures concentrate, along three operational axes.
+
+        Returns ``{"error_type": [...], "cell": [...], "worker": [...]}``,
+        each a list of ``(label, count)`` sorted by descending count (ties
+        by label) — the O&M-style localization view: is a fault class, a
+        particular (experiment, scenario) group, or one worker eating the
+        sweep?  Cells without worker attribution (local failures) count
+        under the ``"(local)"`` worker label.
+        """
+        by_error: Counter[str] = Counter()
+        by_cell: Counter[str] = Counter()
+        by_worker: Counter[str] = Counter()
+        for failed in self.failed_cells:
+            by_error[failed.error_type] += 1
+            by_cell[f"{failed.experiment} / {failed.scenario}"] += 1
+            by_worker[failed.worker or "(local)"] += 1
+
+        def ranked(counter: Counter) -> list[tuple[str, int]]:
+            return sorted(counter.items(), key=lambda item: (-item[1], item[0]))
+
+        return {
+            "error_type": ranked(by_error),
+            "cell": ranked(by_cell),
+            "worker": ranked(by_worker),
+        }
+
     def to_jsonable(self) -> dict[str, Any]:
         return {
             "cells": self.cell_count,
             "groups": self.group_count,
             "failed": len(self.failed_cells),
             "failed_cells": [cell.to_jsonable() for cell in self.failed_cells],
+            "failure_hotspots": {
+                axis: [{"label": label, "count": count} for label, count in ranking]
+                for axis, ranking in self.failure_hotspots().items()
+            },
             "experiments": [digest.to_jsonable() for digest in self.experiments],
         }
 
@@ -293,6 +345,13 @@ class SweepDigest:
             lines.append("")
             for failed in self.failed_cells:
                 lines.append(f"- {cell(failed.describe())}")
+            hotspots = self.failure_hotspots()
+            lines += ["", "### Failure hotspots", ""]
+            lines.append("| axis | hotspot | failures |")
+            lines.append("| --- | --- | --- |")
+            for axis, title in _HOTSPOT_AXES:
+                for label, count in hotspots[axis]:
+                    lines.append(f"| {title} | {cell(label)} | {count} |")
         lines.append("")
         return "\n".join(lines)
 
@@ -326,6 +385,13 @@ class SweepDigest:
                 f"\nFAILED CELLS ({len(self.failed_cells)}; excluded from all "
                 f"aggregates):\n{listing}"
             )
+            hotspots = self.failure_hotspots()
+            rows = [
+                f"  {title}: " + ", ".join(f"{label} ({count})" for label, count in hotspots[axis])
+                for axis, title in _HOTSPOT_AXES
+                if hotspots[axis]
+            ]
+            blocks.append("failure hotspots:\n" + "\n".join(rows))
         return "\n".join(blocks)
 
 

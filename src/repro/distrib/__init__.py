@@ -21,9 +21,17 @@ and sweep through them with ``examples/sweep_scenarios.py --serve`` /
 """
 
 from .backend import DistributedBackend
-from .coordinator import CoordinatorStats, SweepCoordinator
+from .config import (
+    DEFAULT_RETRY,
+    DEFAULT_TIMEOUTS,
+    ConfigError,
+    DistribTimeouts,
+    RetryPolicy,
+)
+from .coordinator import CoordinatorStats, NoWorkersError, SweepCoordinator, WorkerStats
 from .protocol import (
     PROTOCOL_VERSION,
+    FrameTooLargeError,
     MessageChannel,
     ProtocolError,
     recv_message,
@@ -32,24 +40,41 @@ from .protocol import (
 
 
 def __getattr__(name: str):
-    # Lazy so that ``python -m repro.distrib.worker`` does not import the
-    # worker module twice (once via this package, once as ``__main__``),
-    # which would trip runpy's double-import warning.
-    if name in ("WorkerOutcome", "run_worker"):
+    # Lazy so that ``python -m repro.distrib.worker`` (or ``.chaos``) does
+    # not import those modules twice (once via this package, once as
+    # ``__main__``), which would trip runpy's double-import warning.
+    if name in ("WorkerCellCache", "WorkerOutcome", "run_worker"):
         from . import worker
 
         return getattr(worker, name)
+    if name in ("ChaosChannel", "FaultPlan", "fault_plan_from_spec", "sample_plans"):
+        from . import chaos
+
+        return getattr(chaos, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
+    "DEFAULT_RETRY",
+    "DEFAULT_TIMEOUTS",
     "PROTOCOL_VERSION",
+    "ChaosChannel",
+    "ConfigError",
     "CoordinatorStats",
+    "DistribTimeouts",
     "DistributedBackend",
+    "FaultPlan",
+    "FrameTooLargeError",
     "MessageChannel",
+    "NoWorkersError",
     "ProtocolError",
+    "RetryPolicy",
     "SweepCoordinator",
+    "WorkerCellCache",
     "WorkerOutcome",
-    "recv_message",
+    "WorkerStats",
+    "fault_plan_from_spec",
     "run_worker",
+    "sample_plans",
     "send_message",
+    "recv_message",
 ]

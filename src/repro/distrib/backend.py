@@ -17,18 +17,23 @@ Two deployment shapes:
 * ``DistributedBackend(workers=["hostA:7072", "hostB:7072"])`` — dial out
   to persistent worker agents (``python -m repro.distrib.worker --listen
   7072``); both shapes can be combined.
+
+Graceful degradation: when the worker pool empties for longer than
+``startup_timeout_s`` while cells are outstanding, the backend (by default)
+drains the coordinator and finishes the remaining cells through a
+:class:`~repro.analysis.sweeps.LocalPoolBackend` instead of erroring — a
+sweep that *can* complete locally always does.  Disable with
+``local_fallback=False`` to get the original hard
+:class:`~repro.distrib.coordinator.NoWorkersError`.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Optional, Sequence, Union
 
-from ..analysis.sweeps import CellBackend
-from .coordinator import (
-    DEFAULT_HEARTBEAT_TIMEOUT_S,
-    DEFAULT_MAX_REQUEUES,
-    SweepCoordinator,
-)
+from ..analysis.sweeps import CellBackend, LocalPoolBackend
+from .config import DistribTimeouts, RetryPolicy
+from .coordinator import NoWorkersError, SweepCoordinator
 from .protocol import parse_address
 
 AddressLike = Union[str, tuple[str, int]]
@@ -49,10 +54,17 @@ class DistributedBackend(CellBackend):
     Cached cells never reach ``execute`` at all — the runner resolves them
     first — so ``backend.stats.dispatched`` counts genuinely executed cells.
 
-    ``startup_timeout_s`` (default 120) aborts the sweep after that long
-    with **zero connected workers** and cells outstanding — whether nobody
-    ever dialed in or the last worker departed mid-sweep (a reconnecting
-    worker resets the window); pass ``None`` to wait indefinitely.
+    ``startup_timeout_s`` (default 120) bounds how long the sweep tolerates
+    **zero connected workers** with cells outstanding — whether nobody ever
+    dialed in or the last worker departed mid-sweep (a reconnecting worker
+    resets the window); pass ``None`` to wait indefinitely.  What happens
+    when it expires depends on ``local_fallback``: finish the remaining
+    cells on the local pool (default) or raise :class:`NoWorkersError`.
+
+    Timing and retry knobs come as one validated
+    :class:`~repro.distrib.config.DistribTimeouts` /
+    :class:`~repro.distrib.config.RetryPolicy` pair; ``max_requeues`` stays
+    as a convenience override for the common case.
     """
 
     def __init__(
@@ -60,18 +72,24 @@ class DistributedBackend(CellBackend):
         listen: Optional[AddressLike] = None,
         workers: Optional[Sequence[AddressLike]] = None,
         fingerprint: Optional[str] = None,
-        heartbeat_timeout_s: float = DEFAULT_HEARTBEAT_TIMEOUT_S,
-        max_requeues: int = DEFAULT_MAX_REQUEUES,
+        timeouts: Optional[DistribTimeouts] = None,
+        retry: Optional[RetryPolicy] = None,
+        max_requeues: Optional[int] = None,
         startup_timeout_s: Optional[float] = 120.0,
+        local_fallback: bool = True,
+        fallback_processes: Optional[int] = None,
     ) -> None:
         if listen is None and not workers:
             raise ValueError("provide listen= and/or workers= so cells have somewhere to go")
         self.coordinator = SweepCoordinator(
             fingerprint=fingerprint,
-            heartbeat_timeout_s=heartbeat_timeout_s,
+            timeouts=timeouts,
+            retry=retry,
             max_requeues=max_requeues,
         )
         self.startup_timeout_s = startup_timeout_s
+        self.local_fallback = local_fallback
+        self.fallback_processes = fallback_processes
         self._workers = [_as_address(worker) for worker in workers or ()]
         self._used = False
         self.address: Optional[tuple[str, int]] = None
@@ -100,6 +118,8 @@ class DistributedBackend(CellBackend):
             parts.append(
                 "dialing " + ", ".join(f"{host}:{port}" for host, port in self._workers)
             )
+        if self.local_fallback:
+            parts.append("local fallback on")
         return f"distributed ({'; '.join(parts)})"
 
     def execute(self, items: list[tuple[int, dict]]) -> Iterable[tuple[int, dict]]:
@@ -113,9 +133,37 @@ class DistributedBackend(CellBackend):
         if self._workers:
             self.coordinator.connect_workers(self._workers)
         try:
-            for task_id, record in self.coordinator.results(
-                startup_timeout_s=self.startup_timeout_s
-            ):
-                yield int(task_id), record
+            try:
+                for task_id, record in self.coordinator.results(
+                    startup_timeout_s=self.startup_timeout_s
+                ):
+                    yield int(task_id), record
+            except NoWorkersError:
+                if not self.local_fallback:
+                    raise
+                yield from self._run_fallback()
         finally:
             self.coordinator.close()
+
+    def _run_fallback(self) -> Iterable[tuple[int, dict]]:
+        """Finish the sweep locally after the worker pool emptied.
+
+        :meth:`SweepCoordinator.drain_for_fallback` atomically hands over
+        every unresolved cell, so a presumed-dead worker delivering late
+        counts as a dropped duplicate instead of double-resolving a cell
+        the local pool now owns.
+        """
+        already, pending = self.coordinator.drain_for_fallback()
+        for task_id, record in already:
+            yield int(task_id), record
+        if not pending:
+            return
+        local = LocalPoolBackend(processes=self.fallback_processes)
+        try:
+            for position, record in local.execute(
+                [(int(task_id), payload) for task_id, payload in pending]
+            ):
+                self.stats.fallback_cells += 1
+                yield position, record
+        finally:
+            local.close()

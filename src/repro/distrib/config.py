@@ -1,0 +1,176 @@
+"""Unified, validated timing and retry configuration for the dispatcher.
+
+Before this module the dispatcher's timing constants were scattered as
+``DEFAULT_*_S`` module globals across ``coordinator.py`` and ``worker.py``,
+with nothing enforcing the relationships between them — most critically
+that a worker's heartbeat interval stays well below the coordinator's
+liveness timeout (a worker heartbeating *slower* than the coordinator's
+patience is indistinguishable from a dead one and gets its cells requeued
+forever).  :class:`DistribTimeouts` gathers every knob in one validated,
+JSON-able dataclass; :class:`RetryPolicy` does the same for requeue bounds
+and reconnect backoff (jittered exponential, drawn from a seeded
+``np.random.Generator`` so backoff schedules replay bit-identically —
+the same discipline every other random draw in this repo follows).
+
+Both specs mirror the LossModel/controller spec idiom
+(:func:`repro.net.emulator.loss_model_from_spec`): plain dicts in,
+validated frozen dataclasses out, ``to_jsonable`` back — so a fault plan
+or CLI invocation can carry the full timing configuration as data.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Mapping, Optional
+
+import numpy as np
+
+
+class ConfigError(ValueError):
+    """A timing/retry configuration violates a dispatcher invariant."""
+
+
+@dataclass(frozen=True)
+class DistribTimeouts:
+    """Every dispatcher timing knob, validated as a set.
+
+    ``heartbeat_interval_s`` (worker side) and ``heartbeat_timeout_s``
+    (coordinator side) live in one dataclass precisely so the invariant
+    between them is checkable: a deployment configures both from the same
+    object and cannot ship a worker that heartbeats slower than the
+    coordinator's patience.
+    """
+
+    #: Coordinator: delay an idle worker is told to ``wait`` before polling.
+    wait_poll_s: float = 0.2
+    #: Worker: how often the heartbeat thread proves liveness.
+    heartbeat_interval_s: float = 2.0
+    #: Coordinator: silence threshold after which a worker is presumed dead.
+    heartbeat_timeout_s: float = 10.0
+    #: Worker: how long the initial connect (or dial-in wait) keeps retrying.
+    connect_timeout_s: float = 30.0
+    #: Worker: socket receive timeout for coordinator responses.
+    io_timeout_s: float = 120.0
+    #: Coordinator: grace period for serving ``done`` to idle workers on close.
+    linger_s: float = 1.0
+
+    #: Safety margin required between heartbeat interval and timeout: the
+    #: interval must leave room for at least two missed beats plus delivery
+    #: jitter before the coordinator gives up on a healthy worker.
+    MIN_HEARTBEAT_RATIO = 2.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "wait_poll_s",
+            "heartbeat_interval_s",
+            "heartbeat_timeout_s",
+            "connect_timeout_s",
+            "io_timeout_s",
+        ):
+            value = getattr(self, name)
+            if not (isinstance(value, (int, float)) and value > 0):
+                raise ConfigError(f"{name} must be a positive number, got {value!r}")
+        if self.linger_s < 0:
+            raise ConfigError(f"linger_s must be >= 0, got {self.linger_s!r}")
+        if self.heartbeat_interval_s * self.MIN_HEARTBEAT_RATIO > self.heartbeat_timeout_s:
+            raise ConfigError(
+                f"heartbeat interval {self.heartbeat_interval_s:g}s is too close to "
+                f"the coordinator liveness timeout {self.heartbeat_timeout_s:g}s: a "
+                "healthy worker would be presumed dead on one delayed beat — keep "
+                f"interval <= timeout/{self.MIN_HEARTBEAT_RATIO:g}"
+            )
+        if self.wait_poll_s >= self.heartbeat_timeout_s:
+            raise ConfigError(
+                f"wait poll {self.wait_poll_s:g}s must stay below the liveness "
+                f"timeout {self.heartbeat_timeout_s:g}s or idle workers read as dead"
+            )
+
+    def to_jsonable(self) -> dict[str, float]:
+        return asdict(self)
+
+    @classmethod
+    def from_spec(cls, spec: Mapping[str, Any]) -> "DistribTimeouts":
+        unknown = set(spec) - {f for f in cls.__dataclass_fields__}
+        if unknown:
+            raise ConfigError(f"unknown timeout field(s): {sorted(unknown)}")
+        return cls(**{key: float(value) for key, value in spec.items()})
+
+    def override(self, **fields: Optional[float]) -> "DistribTimeouts":
+        """Copy with the non-``None`` fields replaced (re-validated)."""
+        updates = {key: value for key, value in fields.items() if value is not None}
+        return replace(self, **updates) if updates else self
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Requeue bounds and reconnect backoff, in one validated policy.
+
+    ``max_requeues`` bounds how many times the coordinator re-serves a cell
+    whose worker died before the cell resolves to an error record.
+    ``delay_s(attempt, rng)`` is the jittered exponential backoff a worker
+    sleeps between reconnect attempts: drawn from the caller's seeded
+    generator so a replayed chaos run schedules the same backoffs.
+    """
+
+    max_requeues: int = 2
+    backoff_base_s: float = 0.2
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 5.0
+    #: Fractional jitter: each delay is scaled by a uniform draw from
+    #: ``[1 - jitter, 1 + jitter]`` to decorrelate reconnect stampedes.
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not (isinstance(self.max_requeues, int) and self.max_requeues >= 0):
+            raise ConfigError(f"max_requeues must be an int >= 0, got {self.max_requeues!r}")
+        if self.backoff_base_s <= 0:
+            raise ConfigError(f"backoff_base_s must be > 0, got {self.backoff_base_s!r}")
+        if self.backoff_factor < 1.0:
+            raise ConfigError(f"backoff_factor must be >= 1, got {self.backoff_factor!r}")
+        if self.backoff_max_s < self.backoff_base_s:
+            raise ConfigError(
+                f"backoff_max_s ({self.backoff_max_s!r}) must be >= backoff_base_s "
+                f"({self.backoff_base_s!r})"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigError(f"jitter must be in [0, 1), got {self.jitter!r}")
+
+    def delay_s(self, attempt: int, rng: np.random.Generator) -> float:
+        """Backoff before reconnect ``attempt`` (0-based), jittered by ``rng``."""
+        base = min(self.backoff_max_s, self.backoff_base_s * self.backoff_factor**attempt)
+        if self.jitter == 0.0:
+            return base
+        return base * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))
+
+    def to_jsonable(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_spec(cls, spec: Mapping[str, Any]) -> "RetryPolicy":
+        unknown = set(spec) - {f for f in cls.__dataclass_fields__}
+        if unknown:
+            raise ConfigError(f"unknown retry field(s): {sorted(unknown)}")
+        fields = dict(spec)
+        if "max_requeues" in fields:
+            fields["max_requeues"] = int(fields["max_requeues"])
+        return cls(**fields)
+
+    def override(self, **fields: Optional[Any]) -> "RetryPolicy":
+        """Copy with the non-``None`` fields replaced (re-validated)."""
+        updates = {key: value for key, value in fields.items() if value is not None}
+        return replace(self, **updates) if updates else self
+
+
+#: The one place the dispatcher's default timing lives.
+DEFAULT_TIMEOUTS = DistribTimeouts()
+DEFAULT_RETRY = RetryPolicy()
+
+
+def backoff_seed(worker_name: str) -> int:
+    """Deterministic backoff-RNG seed derived from the worker's name.
+
+    Different workers get decorrelated jitter; the same worker replays the
+    same backoff schedule (the point of seeding it at all).
+    """
+    return int.from_bytes(hashlib.sha256(worker_name.encode("utf-8")).digest()[:4], "big")

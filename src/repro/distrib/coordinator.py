@@ -13,6 +13,11 @@ SweepRunner` resolves cached cells before any backend sees the grid, so a
 cell reaching this coordinator is guaranteed to need execution — cached
 cells are never dispatched, and ``stats.dispatched`` counts real work only.
 
+Every timing knob comes from one validated
+:class:`~repro.distrib.config.DistribTimeouts` and every retry bound from
+one :class:`~repro.distrib.config.RetryPolicy` (see
+:mod:`repro.distrib.config`) instead of scattered module constants.
+
 The coordinator is deliberately agnostic about connection direction: it can
 accept workers on a listening socket (:meth:`bind`, workers run
 ``python -m repro.distrib.worker --connect``) and/or dial out to persistent
@@ -31,21 +36,37 @@ from typing import Iterator, Optional, Sequence
 
 from ..analysis.sweeps import _package_fingerprint, error_record
 from ..core import wallclock
+from .config import DEFAULT_RETRY, DEFAULT_TIMEOUTS, DistribTimeouts, RetryPolicy
 from .protocol import PROTOCOL_VERSION, MessageChannel, ProtocolError
 
-#: How often an idle worker polls for new work (the coordinator's ``wait``
-#: delay).  Far below any sane heartbeat timeout, so an idle worker is never
-#: mistaken for a dead one.
-DEFAULT_WAIT_POLL_S = 0.2
 
-#: Silence threshold after which a worker is presumed dead.  Workers
-#: heartbeat every couple of seconds even while executing, so only a hung
-#: or killed worker ever crosses it.
-DEFAULT_HEARTBEAT_TIMEOUT_S = 10.0
+class NoWorkersError(RuntimeError):
+    """The worker pool stayed empty past the startup window with cells
+    outstanding.  :class:`~repro.distrib.backend.DistributedBackend`
+    catches this to degrade gracefully onto the local pool."""
 
-#: How many times a cell is requeued after losing its worker before it
-#: resolves to an error record.
-DEFAULT_MAX_REQUEUES = 2
+
+@dataclass
+class WorkerStats:
+    """Per-worker operational counters (keyed by worker name, so a
+    reconnecting worker's sessions accumulate into one row)."""
+
+    sessions: int = 0
+    dispatched: int = 0
+    completed: int = 0
+    failed: int = 0
+    lost: int = 0
+    requeued_cells: int = 0
+
+    def to_jsonable(self) -> dict:
+        return {
+            "sessions": self.sessions,
+            "dispatched": self.dispatched,
+            "completed": self.completed,
+            "failed": self.failed,
+            "lost": self.lost,
+            "requeued_cells": self.requeued_cells,
+        }
 
 
 @dataclass
@@ -60,6 +81,17 @@ class CoordinatorStats:
     workers_rejected: int = 0
     workers_lost: int = 0
     connect_failures: int = 0
+    #: Late results from presumed-dead workers, dropped on arrival — each
+    #: one is a cell that still resolved exactly once.
+    duplicates_dropped: int = 0
+    #: Cells executed by the local-pool fallback after the worker pool
+    #: emptied (filled in by the backend, not the coordinator).
+    fallback_cells: int = 0
+    #: Per-worker breakdown for the fleet hotspot report.
+    per_worker: dict[str, WorkerStats] = field(default_factory=dict)
+
+    def worker(self, name: str) -> WorkerStats:
+        return self.per_worker.setdefault(name, WorkerStats())
 
 
 @dataclass
@@ -83,14 +115,14 @@ class SweepCoordinator:
     def __init__(
         self,
         fingerprint: Optional[str] = None,
-        heartbeat_timeout_s: float = DEFAULT_HEARTBEAT_TIMEOUT_S,
-        max_requeues: int = DEFAULT_MAX_REQUEUES,
-        wait_poll_s: float = DEFAULT_WAIT_POLL_S,
+        timeouts: Optional[DistribTimeouts] = None,
+        retry: Optional[RetryPolicy] = None,
+        max_requeues: Optional[int] = None,
     ) -> None:
         self.fingerprint = fingerprint if fingerprint is not None else _package_fingerprint()
-        self.heartbeat_timeout_s = heartbeat_timeout_s
-        self.max_requeues = max_requeues
-        self.wait_poll_s = wait_poll_s
+        self.timeouts = timeouts if timeouts is not None else DEFAULT_TIMEOUTS
+        retry = retry if retry is not None else DEFAULT_RETRY
+        self.retry = retry.override(max_requeues=max_requeues)
         self.stats = CoordinatorStats()
         self.address: Optional[tuple[str, int]] = None
 
@@ -109,6 +141,22 @@ class SweepCoordinator:
         # Instant the live-worker count last hit zero; drives the
         # no-workers timeout in :meth:`results`.
         self._workers_gone_since = wallclock.monotonic()
+
+    @property
+    def submitted(self) -> bool:
+        """Whether the sweep's cells have been registered (chaos harnesses
+        gate worker launch on this to fault the *sweep*, not the idle
+        pre-submit polling)."""
+        with self._lock:
+            return self._submitted
+
+    @property
+    def heartbeat_timeout_s(self) -> float:
+        return self.timeouts.heartbeat_timeout_s
+
+    @property
+    def max_requeues(self) -> int:
+        return self.retry.max_requeues
 
     # -- wiring ------------------------------------------------------------
 
@@ -142,7 +190,7 @@ class SweepCoordinator:
 
     def _dial(self, address: tuple[str, int]) -> None:
         try:
-            sock = socket.create_connection(address, timeout=self.heartbeat_timeout_s)
+            sock = socket.create_connection(address, timeout=self.timeouts.heartbeat_timeout_s)
         except OSError:
             with self._lock:
                 self.stats.connect_failures += 1
@@ -162,6 +210,10 @@ class SweepCoordinator:
                 continue
             except OSError:
                 return  # closed
+            # The liveness timeout goes on before the connection is handed
+            # anywhere: no window in which a silent peer can block a read
+            # forever (machine-checked by reprolint's socket-timeout rule).
+            conn.settimeout(self.timeouts.heartbeat_timeout_s)
             self._spawn(self._serve_connection, conn, addr, name=f"distrib-conn-{addr}")
 
     # -- task state --------------------------------------------------------
@@ -192,6 +244,7 @@ class SweepCoordinator:
                 task_id = self._pending.popleft()
                 connection.inflight.add(task_id)
                 self.stats.dispatched += 1
+                self.stats.worker(connection.name).dispatched += 1
                 return "task", task_id, self._tasks[task_id]
             if self._unresolved:
                 return "wait", None, None
@@ -202,11 +255,18 @@ class SweepCoordinator:
             if connection is not None:
                 connection.inflight.discard(task_id)
             if task_id not in self._unresolved:
-                return  # duplicate: a presumed-dead worker finished after requeue
+                # Duplicate: a presumed-dead worker finished after requeue
+                # (or after the fallback took the cell over).
+                self.stats.duplicates_dropped += 1
+                return
             self._unresolved.discard(task_id)
             self.stats.completed += 1
+            if connection is not None:
+                self.stats.worker(connection.name).completed += 1
             if record.get("error") is not None:
                 self.stats.failed += 1
+                if connection is not None:
+                    self.stats.worker(connection.name).failed += 1
         self._out.put((task_id, record))
 
     def _requeue_inflight(self, connection: _Connection, reason: str, penalize: bool = True) -> None:
@@ -218,13 +278,14 @@ class SweepCoordinator:
                     continue
                 attempts = self._requeues.get(task_id, 0) + (1 if penalize else 0)
                 self._requeues[task_id] = attempts
-                if attempts > self.max_requeues:
+                if attempts > self.retry.max_requeues:
                     exhausted.append((task_id, self._tasks[task_id]))
                 else:
                     # Front of the queue: a requeued cell was already paid
                     # for once, so it should not also wait behind the tail.
                     self._pending.appendleft(task_id)
                     self.stats.requeued += 1
+                    self.stats.worker(connection.name).requeued_cells += 1
             connection.inflight.clear()
         for task_id, payload in exhausted:
             self._resolve(
@@ -235,13 +296,21 @@ class SweepCoordinator:
                         "type": "WorkerLost",
                         "message": (
                             f"worker {connection.name} lost ({reason}); "
-                            f"giving up after {self.max_requeues} requeues"
+                            f"giving up after {self.retry.max_requeues} requeues"
                         ),
                         "traceback": "",
+                        # Attribution for the failure-hotspot report: which
+                        # worker took the cell down with it.
+                        "worker": connection.name,
                     },
                 ),
                 connection=None,
             )
+
+    def _mark_lost(self, connection: _Connection) -> None:
+        with self._lock:
+            self.stats.workers_lost += 1
+            self.stats.worker(connection.name).lost += 1
 
     # -- per-connection session --------------------------------------------
 
@@ -250,7 +319,7 @@ class SweepCoordinator:
         connection = _Connection(channel=channel, name=f"{addr[0]}:{addr[1]}")
         registered = False
         try:
-            sock.settimeout(self.heartbeat_timeout_s)
+            sock.settimeout(self.timeouts.heartbeat_timeout_s)
             channel.send(
                 "hello",
                 role="coordinator",
@@ -261,14 +330,14 @@ class SweepCoordinator:
                 return
             with self._lock:
                 self.stats.workers_connected += 1
+                self.stats.worker(connection.name).sessions += 1
                 self._live_workers += 1
                 registered = True
                 self._connections.append(connection)
             self._session_loop(channel, connection)
         except (OSError, ProtocolError, TimeoutError) as exc:
             if connection.inflight:
-                with self._lock:
-                    self.stats.workers_lost += 1
+                self._mark_lost(connection)
                 self._requeue_inflight(connection, f"{type(exc).__name__}: {exc}")
         finally:
             if registered:
@@ -311,16 +380,15 @@ class SweepCoordinator:
             try:
                 message = channel.recv()
             except (TimeoutError, socket.timeout):
-                with self._lock:
-                    self.stats.workers_lost += 1
+                self._mark_lost(connection)
                 self._requeue_inflight(
-                    connection, f"silent for {self.heartbeat_timeout_s:g}s (presumed dead)"
+                    connection,
+                    f"silent for {self.timeouts.heartbeat_timeout_s:g}s (presumed dead)",
                 )
                 return
             if message is None:  # EOF
                 if connection.inflight:
-                    with self._lock:
-                        self.stats.workers_lost += 1
+                    self._mark_lost(connection)
                     self._requeue_inflight(connection, "connection closed")
                 return
             kind = message.get("type")
@@ -336,7 +404,7 @@ class SweepCoordinator:
                 if action == "task":
                     channel.send("task", task_id=task_id, payload=payload)
                 elif action == "wait":
-                    channel.send("wait", seconds=self.wait_poll_s)
+                    channel.send("wait", seconds=self.timeouts.wait_poll_s)
                 else:
                     channel.send("done")
                     return
@@ -359,7 +427,8 @@ class SweepCoordinator:
         startup (nobody ever dialed in) and mid-sweep (the last worker
         departed, e.g. gracefully via ``--max-cells``, leaving pending cells
         that only a worker could resolve).  When the window expires a
-        ``RuntimeError`` is raised instead of waiting forever; a worker
+        :class:`NoWorkersError` is raised instead of waiting forever (the
+        backend catches it to fall back to local execution); a worker
         (re)connecting resets it.  While at least one worker is connected
         the sweep waits indefinitely: every dispatched cell retains a path
         to resolution through requeue-or-error.
@@ -382,7 +451,7 @@ class SweepCoordinator:
                         live = self._live_workers
                         gone_for = wallclock.monotonic() - self._workers_gone_since
                     if live == 0 and gone_for > startup_timeout_s:
-                        raise RuntimeError(
+                        raise NoWorkersError(
                             f"no worker connected for {startup_timeout_s:g}s with "
                             f"{total - yielded} cell(s) outstanding "
                             f"(serving on {self.address})"
@@ -391,16 +460,47 @@ class SweepCoordinator:
             yielded += 1
             yield item
 
-    def close(self, linger_s: float = 1.0) -> None:
+    def drain_for_fallback(self) -> tuple[list[tuple[str, dict]], list[tuple[str, dict]]]:
+        """Atomically take over every unresolved cell for local execution.
+
+        Returns ``(already_resolved, pending)``: records that resolved but
+        were not yet consumed from the output queue, and ``(task_id,
+        payload)`` pairs for every still-unresolved cell.  The unresolved
+        set empties in the same locked section, so a presumed-dead worker
+        delivering late is counted as a dropped duplicate rather than
+        double-resolving a cell the fallback now owns — the exactly-once
+        invariant survives the takeover.
+        """
+        with self._lock:
+            already: list[tuple[str, dict]] = []
+            while True:
+                try:
+                    already.append(self._out.get_nowait())
+                except queue.Empty:
+                    break
+            pending = [
+                (task_id, self._tasks[task_id])
+                for task_id in self._tasks
+                if task_id in self._unresolved
+            ]
+            self._unresolved.clear()
+            self._pending.clear()
+            for connection in self._connections:
+                connection.inflight.clear()
+        return already, pending
+
+    def close(self, linger_s: Optional[float] = None) -> None:
         """Shut the coordinator down.
 
-        Waits up to ``linger_s`` for connection threads to finish serving
-        ``done`` to idle workers (they poll within ``wait_poll_s``), then
-        force-closes whatever remains.
+        Waits up to ``linger_s`` (default ``timeouts.linger_s``) for
+        connection threads to finish serving ``done`` to idle workers (they
+        poll within ``wait_poll_s``), then force-closes whatever remains.
         """
         if self._closed:
             return
         self._closed = True
+        if linger_s is None:
+            linger_s = self.timeouts.linger_s
         if self._server is not None:
             try:
                 self._server.close()

@@ -69,25 +69,37 @@ MESSAGE_TYPES = frozenset(
 _HEADER = struct.Struct(">I")
 
 #: Upper bound on one frame.  Sweep cell records are a few KB to a few MB;
-#: anything larger is a corrupt frame or a foreign client, and reading its
-#: claimed length would balloon memory.
+#: anything larger is a corrupt frame or a foreign client.  The length
+#: prefix is attacker/corruption-controlled input: without this bound a
+#: single hostile header would make ``recv`` allocate up to 4 GiB.
 MAX_MESSAGE_BYTES = 64 * 1024 * 1024
+
+#: Never read more than this per ``recv`` call, however large the frame:
+#: allocation then grows with data actually received, not with what a
+#: corrupt length prefix merely *claims* is coming.
+_RECV_CHUNK_BYTES = 1 * 1024 * 1024
 
 
 class ProtocolError(RuntimeError):
     """A peer sent bytes that do not parse as a protocol message."""
 
 
-def encode_message(message: dict) -> bytes:
+class FrameTooLargeError(ProtocolError):
+    """A frame (announced or outgoing) exceeds the configured size bound."""
+
+
+def encode_message(message: dict, max_bytes: int = MAX_MESSAGE_BYTES) -> bytes:
     body = json.dumps(message, separators=(",", ":"), sort_keys=True).encode("utf-8")
-    if len(body) > MAX_MESSAGE_BYTES:
-        raise ProtocolError(f"message of {len(body)} bytes exceeds frame limit")
+    if len(body) > max_bytes:
+        raise FrameTooLargeError(
+            f"outgoing message of {len(body)} bytes exceeds the {max_bytes}-byte frame limit"
+        )
     return _HEADER.pack(len(body)) + body
 
 
-def send_message(sock: socket.socket, message: dict) -> None:
+def send_message(sock: socket.socket, message: dict, max_bytes: int = MAX_MESSAGE_BYTES) -> None:
     """Write one framed message (callers serialise concurrent senders)."""
-    sock.sendall(encode_message(message))
+    sock.sendall(encode_message(message, max_bytes=max_bytes))
 
 
 def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
@@ -95,7 +107,7 @@ def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
     chunks: list[bytes] = []
     remaining = count
     while remaining:
-        chunk = sock.recv(remaining)
+        chunk = sock.recv(min(remaining, _RECV_CHUNK_BYTES))
         if not chunk:
             if remaining == count:
                 return None
@@ -105,14 +117,22 @@ def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
     return b"".join(chunks)
 
 
-def recv_message(sock: socket.socket) -> Optional[dict]:
-    """Read one framed message; None when the peer closed the connection."""
+def recv_message(sock: socket.socket, max_bytes: int = MAX_MESSAGE_BYTES) -> Optional[dict]:
+    """Read one framed message; None when the peer closed the connection.
+
+    ``max_bytes`` bounds the announced frame length *before* any body byte
+    is read: a hostile or bit-flipped length prefix raises a typed
+    :class:`FrameTooLargeError` instead of asking the allocator for
+    whatever the header claims.
+    """
     header = _recv_exact(sock, _HEADER.size)
     if header is None:
         return None
     (length,) = _HEADER.unpack(header)
-    if length > MAX_MESSAGE_BYTES:
-        raise ProtocolError(f"peer announced a {length}-byte frame (limit {MAX_MESSAGE_BYTES})")
+    if length > max_bytes:
+        raise FrameTooLargeError(
+            f"peer announced a {length}-byte frame (limit {max_bytes})"
+        )
     body = _recv_exact(sock, length) if length else b""
     if length and body is None:  # pragma: no cover - _recv_exact raises instead
         raise ProtocolError("connection closed mid-frame")
@@ -131,10 +151,18 @@ class MessageChannel:
     Sending is serialised with a lock because a worker writes from two
     threads (the session loop and the heartbeat thread); receiving is only
     ever done from one thread per side, so it takes no lock.
+
+    ``max_message_bytes`` bounds frames in both directions (default
+    :data:`MAX_MESSAGE_BYTES`); subclasses — the chaos layer's
+    :class:`~repro.distrib.chaos.ChaosChannel` — override ``_send_locked``
+    / ``recv`` to intercept the message stream at this exact boundary.
     """
 
-    def __init__(self, sock: socket.socket) -> None:
+    def __init__(
+        self, sock: socket.socket, max_message_bytes: int = MAX_MESSAGE_BYTES
+    ) -> None:
         self.sock = sock
+        self.max_message_bytes = max_message_bytes
         self._send_lock = threading.Lock()
         self._closed = False
 
@@ -143,10 +171,14 @@ class MessageChannel:
             raise ProtocolError(f"unknown outgoing message type {type!r}")
         message = {"type": type, **fields}
         with self._send_lock:
-            send_message(self.sock, message)
+            self._send_locked(message)
+
+    def _send_locked(self, message: dict) -> None:
+        """Write one validated message while holding the send lock."""
+        send_message(self.sock, message, max_bytes=self.max_message_bytes)
 
     def recv(self) -> Optional[dict]:
-        return recv_message(self.sock)
+        return recv_message(self.sock, max_bytes=self.max_message_bytes)
 
     @property
     def closed(self) -> bool:

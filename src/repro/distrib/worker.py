@@ -18,6 +18,13 @@ through the existing fault-isolated cell machinery
 (:func:`repro.analysis.sweeps.execute_cell_record`), so a raising runner
 returns an error record rather than killing the worker; a heartbeat thread
 keeps the connection visibly alive during long cells.
+
+Elasticity: sessions can share a :class:`WorkerCellCache`, so a worker that
+reconnects after a partition or preemption *re-offers* the records it
+already computed instead of redoing the work — the coordinator requeued
+those cells when the worker vanished, and the re-offer resolves them at the
+cost of one message each (``--reconnect`` wires this up on the CLI; the
+chaos harness leans on it heavily).
 """
 
 from __future__ import annotations
@@ -28,25 +35,46 @@ import socket
 import sys
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Optional
+
+import numpy as np
 
 from ..analysis.sweeps import _package_fingerprint, execute_cell_record
 from ..core import wallclock
+from .config import DEFAULT_RETRY, DEFAULT_TIMEOUTS, RetryPolicy, backoff_seed
 from .protocol import PROTOCOL_VERSION, MessageChannel, ProtocolError, parse_address
 
-#: How often the heartbeat thread proves liveness to the coordinator.  Must
-#: stay well below the coordinator's heartbeat timeout.
-DEFAULT_HEARTBEAT_INTERVAL_S = 2.0
 
-#: How long a freshly started worker keeps retrying the initial connect —
-#: lets workers start before (or while) the coordinator binds its port.
-DEFAULT_CONNECT_TIMEOUT_S = 30.0
+@dataclass
+class WorkerCellCache:
+    """Completed cells this worker can re-offer after a reconnect.
 
-#: Socket receive timeout for coordinator responses.  The coordinator
-#: answers ``next`` immediately (task/wait/done), so silence this long
-#: means it is gone.
-DEFAULT_IO_TIMEOUT_S = 120.0
+    Keyed by the cell's content-hash ``cache_key`` (same key the on-disk
+    sweep cache uses), so a cell requeued under a different ``task_id``
+    still hits.  Error records are never cached — a retry after a transient
+    fault should re-execute, exactly like the on-disk cache refuses to
+    load error records.
+    """
+
+    records: dict[str, dict] = field(default_factory=dict)
+    #: Cells answered from the cache (re-offers) vs. freshly executed.
+    hits: int = 0
+    stores: int = 0
+
+    def get(self, payload: dict) -> Optional[dict]:
+        record = self.records.get(payload.get("cache_key"))
+        if record is not None:
+            self.hits += 1
+        return record
+
+    def put(self, payload: dict, record: dict) -> None:
+        if record.get("error") is not None:
+            return
+        key = payload.get("cache_key")
+        if isinstance(key, str):
+            self.records[key] = record
+            self.stores += 1
 
 
 @dataclass
@@ -82,6 +110,7 @@ def _run_session(
     executor: Callable[[dict], dict],
     heartbeat_interval_s: float,
     max_cells: Optional[int],
+    cache: Optional[WorkerCellCache] = None,
 ) -> WorkerOutcome:
     """Drive one coordinator connection from handshake to completion."""
     hello = channel.recv()
@@ -146,14 +175,19 @@ def _run_session(
                 continue
             if kind != "task":
                 continue  # unknown messages are ignored (forward compatibility)
-            try:
-                record = executor(message["payload"])
-            except Exception as exc:  # reprolint: disable=broad-except
-                # Deliberately broad: the executor is already fault-isolated,
-                # so anything escaping it means this worker cannot report a
-                # record at all — drop the connection and let the coordinator
-                # requeue the cell on a healthy worker.
-                return WorkerOutcome("crashed", completed, f"{type(exc).__name__}: {exc}")
+            payload = message["payload"]
+            record = cache.get(payload) if cache is not None else None
+            if record is None:
+                try:
+                    record = executor(payload)
+                except Exception as exc:  # reprolint: disable=broad-except
+                    # Deliberately broad: the executor is already fault-isolated,
+                    # so anything escaping it means this worker cannot report a
+                    # record at all — drop the connection and let the coordinator
+                    # requeue the cell on a healthy worker.
+                    return WorkerOutcome("crashed", completed, f"{type(exc).__name__}: {exc}")
+                if cache is not None:
+                    cache.put(payload, record)
             channel.send("result", task_id=message["task_id"], record=record)
             completed += 1
             if max_cells is not None and completed >= max_cells:
@@ -171,27 +205,45 @@ def run_worker(
     fingerprint: Optional[str] = None,
     worker_name: Optional[str] = None,
     executor: Optional[Callable[[dict], dict]] = None,
-    heartbeat_interval_s: float = DEFAULT_HEARTBEAT_INTERVAL_S,
-    connect_timeout_s: float = DEFAULT_CONNECT_TIMEOUT_S,
-    io_timeout_s: float = DEFAULT_IO_TIMEOUT_S,
+    heartbeat_interval_s: float = DEFAULT_TIMEOUTS.heartbeat_interval_s,
+    connect_timeout_s: float = DEFAULT_TIMEOUTS.connect_timeout_s,
+    io_timeout_s: float = DEFAULT_TIMEOUTS.io_timeout_s,
     max_cells: Optional[int] = None,
+    retry: Optional[RetryPolicy] = None,
+    cache: Optional[WorkerCellCache] = None,
+    channel_factory: Optional[Callable[[socket.socket], MessageChannel]] = None,
 ) -> WorkerOutcome:
     """Run one worker session (the in-process entry point; the CLI wraps it).
 
-    Exactly one of ``connect`` (dial the coordinator, retrying until
+    Exactly one of ``connect`` (dial the coordinator, retrying with the
+    ``retry`` policy's jittered exponential backoff until
     ``connect_timeout_s``) or ``listen`` (accept a single coordinator
     connection, e.g. from a dial-out ``DistributedBackend``) must be given.
     ``fingerprint`` and ``executor`` exist for tests; they default to the
     real source-tree fingerprint and the fault-isolated cell executor.
+
+    The timing kwargs default to :data:`~repro.distrib.config.
+    DEFAULT_TIMEOUTS` but are accepted individually (not as a validated
+    ``DistribTimeouts``) on purpose: tests simulate misbehaving workers —
+    e.g. one that heartbeats slower than the coordinator's patience — which
+    the validated config would rightly refuse to construct.
+
+    ``cache`` makes sessions elastic: pass the same :class:`WorkerCellCache`
+    across reconnects and finished cells are re-offered, not recomputed.
+    ``channel_factory`` wraps the connected socket (default
+    :class:`MessageChannel`); the chaos harness injects its fault layer here.
     """
     if (connect is None) == (listen is None):
         raise ValueError("exactly one of connect= or listen= is required")
     fingerprint = fingerprint if fingerprint is not None else _package_fingerprint()
     worker_name = worker_name or _default_worker_name()
     executor = executor or execute_cell_record
+    retry = retry if retry is not None else DEFAULT_RETRY
 
     if connect is not None:
+        backoff_rng = np.random.default_rng(backoff_seed(worker_name))
         deadline = wallclock.monotonic() + connect_timeout_s
+        attempt = 0
         while True:
             try:
                 sock = socket.create_connection(connect, timeout=2.0)
@@ -201,7 +253,8 @@ def run_worker(
                     return WorkerOutcome(
                         "connect_failed", detail=f"{connect[0]}:{connect[1]}: {exc}"
                     )
-                time.sleep(0.2)
+                time.sleep(retry.delay_s(attempt, backoff_rng))
+                attempt += 1
     else:
         server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         try:
@@ -217,10 +270,16 @@ def run_worker(
             server.close()
 
     sock.settimeout(io_timeout_s)
-    channel = MessageChannel(sock)
+    channel = channel_factory(sock) if channel_factory is not None else MessageChannel(sock)
     try:
         return _run_session(
-            channel, fingerprint, worker_name, executor, heartbeat_interval_s, max_cells
+            channel,
+            fingerprint,
+            worker_name,
+            executor,
+            heartbeat_interval_s,
+            max_cells,
+            cache=cache,
         )
     except (OSError, ProtocolError, TimeoutError) as exc:
         # The session loop handles its own I/O errors; this catches the
@@ -252,16 +311,30 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument(
         "--connect-timeout",
         type=float,
-        default=DEFAULT_CONNECT_TIMEOUT_S,
+        default=DEFAULT_TIMEOUTS.connect_timeout_s,
         help="seconds to keep retrying the initial connect (or awaiting a dial-in)",
+    )
+    parser.add_argument(
+        "--io-timeout",
+        type=float,
+        default=DEFAULT_TIMEOUTS.io_timeout_s,
+        help="socket receive timeout for coordinator responses",
     )
     parser.add_argument(
         "--heartbeat",
         type=float,
-        default=DEFAULT_HEARTBEAT_INTERVAL_S,
+        default=DEFAULT_TIMEOUTS.heartbeat_interval_s,
         help="heartbeat interval in seconds",
     )
     parser.add_argument("--name", default=None, help="worker name shown to the coordinator")
+    parser.add_argument(
+        "--reconnect",
+        type=int,
+        default=0,
+        metavar="N",
+        help="with --connect: on disconnect/crash, redial up to N times, "
+        "re-offering already-completed cells from the in-memory cache",
+    )
     parser.add_argument(
         "--once",
         action="store_true",
@@ -273,15 +346,33 @@ def main(argv: Optional[list[str]] = None) -> int:
         worker_name=args.name,
         heartbeat_interval_s=args.heartbeat,
         connect_timeout_s=args.connect_timeout,
+        io_timeout_s=args.io_timeout,
         max_cells=args.max_cells,
     )
-    if args.connect is not None:
-        outcome = run_worker(connect=parse_address(args.connect), **common)
+
+    def _report(outcome: WorkerOutcome) -> None:
         print(
             f"worker {outcome.status}: {outcome.completed} cells"
             + (f" ({outcome.detail})" if outcome.detail else "")
         )
-        return 0 if outcome.ok else 2
+
+    if args.connect is not None:
+        address = parse_address(args.connect)
+        cache = WorkerCellCache()
+        redials = 0
+        while True:
+            outcome = run_worker(connect=address, cache=cache, **common)
+            _report(outcome)
+            # Reconnect only on involuntary endings; "done"/"rejected" are
+            # final, and connect_failed means the coordinator never existed.
+            if outcome.status not in ("disconnected", "crashed") or redials >= args.reconnect:
+                return 0 if outcome.ok else 2
+            redials += 1
+            if cache.hits or cache.stores:
+                print(
+                    f"worker reconnecting ({redials}/{args.reconnect}) with "
+                    f"{len(cache.records)} cached cell(s) to re-offer"
+                )
 
     # A persistent agent must be reachable from other machines, so the bare
     # ``--listen PORT`` form binds every interface (unlike --connect, where
@@ -289,10 +380,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     address = parse_address(args.listen, default_host="0.0.0.0")
     while True:
         outcome = run_worker(listen=address, **common)
-        print(
-            f"worker {outcome.status}: {outcome.completed} cells"
-            + (f" ({outcome.detail})" if outcome.detail else "")
-        )
+        _report(outcome)
         if args.once:
             return 0 if outcome.ok else 2
 

@@ -59,6 +59,13 @@ RULES: dict[str, str] = {
         "distrib/, swallow protocol and liveness bugs; catch specific "
         "exceptions or suppress with a justification"
     ),
+    "socket-timeout": (
+        "inside distrib/, every socket must carry a finite timeout: "
+        "create_connection needs timeout=, settimeout(None) is banned, and "
+        "sockets obtained from socket() or accept() must be given a "
+        "settimeout() in the same function — a blocking-forever read turns "
+        "one silent peer into a hung fleet"
+    ),
 }
 
 #: Modules whose dataclasses must declare ``slots=True`` (hot paths where
@@ -553,6 +560,116 @@ class BroadExceptChecker(ScopedVisitor):
         self.generic_visit(node)
 
 
+# ---------------------------------------------------------------------------
+# Rule 9: socket timeouts in distrib/
+# ---------------------------------------------------------------------------
+
+
+class SocketTimeoutChecker(ScopedVisitor):
+    """No blocking-forever sockets in the dispatcher.
+
+    distrib/-scoped (like broad-except's strict mode).  Three legs:
+
+    * ``socket.create_connection(...)`` must pass a ``timeout`` (second
+      positional or keyword);
+    * ``settimeout(None)`` — re-enabling blocking mode — is banned outright;
+    * a function that obtains a socket from ``socket.socket(...)`` or
+      ``.accept()`` must call ``.settimeout(...)`` later in the same
+      function, so no socket escapes its creation scope still blocking.
+      (Scopes are checked by function; code in nested closures counts
+      toward the enclosing function — an acceptable approximation for how
+      sockets are actually handled here.)
+    """
+
+    rule = "socket-timeout"
+
+    def _in_distrib(self) -> bool:
+        return "distrib" in PurePosixPath(self.ctx.relpath).parts
+
+    def visit_Module(self, node: ast.Module) -> None:
+        if not self._in_distrib():
+            return
+        functions = [
+            child
+            for child in ast.walk(node)
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        in_function: set[int] = set()
+        for function in functions:
+            for child in ast.walk(function):
+                if child is not function:
+                    in_function.add(id(child))
+        # Innermost-function statements must not also count toward their
+        # enclosing function twice; scope per top-level-visited function is
+        # fine because nested defs are walked as part of the outer one.
+        checked: set[int] = set()
+        for function in functions:
+            if id(function) in checked:
+                continue
+            scope_nodes = [child for child in ast.walk(function)]
+            for child in scope_nodes:
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    checked.add(id(child))
+            self._check_scope(scope_nodes)
+        # Module/class-level statements outside any function.
+        self._check_scope(
+            [child for child in ast.walk(node) if id(child) not in in_function]
+        )
+
+    def _check_scope(self, nodes: list[ast.AST]) -> None:
+        creations: list[ast.Call] = []  # socket.socket(...) / .accept() sites
+        settimeout_lines: list[int] = []
+        for child in nodes:
+            if not isinstance(child, ast.Call):
+                continue
+            dotted = self.ctx.resolve(child.func)
+            if dotted == "socket.create_connection":
+                if len(child.args) < 2 and not any(
+                    keyword.arg == "timeout" for keyword in child.keywords
+                ):
+                    self.emit(
+                        child,
+                        self.rule,
+                        "socket.create_connection without timeout= blocks "
+                        "forever on an unresponsive peer; pass an explicit "
+                        "timeout",
+                    )
+            elif dotted == "socket.socket":
+                creations.append(child)
+            elif isinstance(child.func, ast.Attribute):
+                if child.func.attr == "accept":
+                    creations.append(child)
+                elif child.func.attr == "settimeout":
+                    if (
+                        len(child.args) == 1
+                        and isinstance(child.args[0], ast.Constant)
+                        and child.args[0].value is None
+                    ):
+                        self.emit(
+                            child,
+                            self.rule,
+                            "settimeout(None) puts the socket back in "
+                            "blocking-forever mode; set a finite timeout",
+                        )
+                    else:
+                        settimeout_lines.append(getattr(child, "lineno", 0))
+        for creation in creations:
+            line = getattr(creation, "lineno", 0)
+            if not any(timeout_line > line for timeout_line in settimeout_lines):
+                what = (
+                    "socket accepted here"
+                    if isinstance(creation.func, ast.Attribute)
+                    and creation.func.attr == "accept"
+                    else "socket created here"
+                )
+                self.emit(
+                    creation,
+                    self.rule,
+                    f"{what} never gets a settimeout() later in this "
+                    "function; a silent peer would block it forever",
+                )
+
+
 #: Single-file checkers, in reporting order.
 FILE_CHECKERS = (
     RngDisciplineChecker,
@@ -562,6 +679,7 @@ FILE_CHECKERS = (
     FloatTimeEqChecker,
     MutableDefaultChecker,
     BroadExceptChecker,
+    SocketTimeoutChecker,
 )
 
 

@@ -270,3 +270,67 @@ class TestFailedCells:
         assert digest.failed_cells == []
         assert "FAILED" not in digest.render_text()
         assert "Failed cells" not in digest.render_markdown()
+
+
+class TestFailureHotspots:
+    """Failures localize along error-type / cell / worker axes."""
+
+    def _records(self):
+        def bad(seed, error_type, worker=None, scenario="s1"):
+            error = {"type": error_type, "message": "boom", "traceback": "tb"}
+            if worker is not None:
+                error["worker"] = worker
+            return {
+                "experiment": "exp",
+                "scenario": {"name": scenario},
+                "seed": seed,
+                "result": None,
+                "error": error,
+            }
+
+        ok = {
+            "experiment": "exp",
+            "scenario": {"name": "s1"},
+            "seed": 0,
+            "result": {"metric": 1.0},
+        }
+        return [
+            ok,
+            bad(1, "WorkerLost", worker="w0"),
+            bad(2, "WorkerLost", worker="w0", scenario="s2"),
+            bad(3, "ValueError"),
+        ]
+
+    def test_ranked_along_all_three_axes(self):
+        from repro.analysis.report import build_digest
+
+        hotspots = build_digest(self._records()).failure_hotspots()
+        assert hotspots["error_type"] == [("WorkerLost", 2), ("ValueError", 1)]
+        assert hotspots["cell"] == [("exp / s1", 2), ("exp / s2", 1)]
+        # Worker attribution comes from the coordinator's error record;
+        # local failures pool under "(local)".
+        assert hotspots["worker"] == [("w0", 2), ("(local)", 1)]
+
+    def test_renderers_and_json_carry_hotspots(self):
+        from repro.analysis.report import build_digest
+
+        digest = build_digest(self._records())
+        markdown = digest.render_markdown()
+        assert "### Failure hotspots" in markdown
+        assert "| fault class | WorkerLost | 2 |" in markdown
+        assert "[worker w0]" in markdown  # listing names the worker too
+        text = digest.render_text()
+        assert "failure hotspots:" in text
+        assert "WorkerLost (2)" in text
+        payload = digest.to_jsonable()
+        assert payload["failure_hotspots"]["worker"][0] == {"label": "w0", "count": 2}
+        attributions = {cell["worker"] for cell in payload["failed_cells"]}
+        assert attributions == {"w0", None}
+
+    def test_clean_digest_has_no_hotspot_sections(self):
+        from repro.analysis.report import build_digest
+
+        digest = build_digest(self._records()[:1])
+        assert digest.failure_hotspots() == {"error_type": [], "cell": [], "worker": []}
+        assert "hotspot" not in digest.render_markdown().lower()
+        assert "hotspot" not in digest.render_text().lower()

@@ -19,7 +19,7 @@ import pytest
 
 from repro.analysis import SweepGrid, SweepRunner, bernoulli_scenario, gilbert_elliott_scenario
 from repro.analysis.sweeps import execute_cell_record
-from repro.distrib import DistributedBackend, run_worker
+from repro.distrib import DistribTimeouts, DistributedBackend, run_worker
 from repro.distrib.protocol import PROTOCOL_VERSION, MessageChannel
 from repro.distrib.worker import WorkerOutcome
 
@@ -146,7 +146,9 @@ class TestWorkerLoss:
             return execute_cell_record(payload)
 
         backend = DistributedBackend(
-            listen=("127.0.0.1", 0), startup_timeout_s=30, heartbeat_timeout_s=0.4
+            listen=("127.0.0.1", 0),
+            startup_timeout_s=30,
+            timeouts=DistribTimeouts(heartbeat_interval_s=0.2, heartbeat_timeout_s=0.4),
         )
         hung_thread, hung_outcomes = start_worker(
             backend.address,
@@ -309,7 +311,9 @@ class TestBackendContract:
             list(backend.execute([(0, {})]))
 
     def test_startup_timeout_without_workers(self, tmp_path):
-        backend = DistributedBackend(listen=("127.0.0.1", 0), startup_timeout_s=0.3)
+        backend = DistributedBackend(
+            listen=("127.0.0.1", 0), startup_timeout_s=0.3, local_fallback=False
+        )
         with pytest.raises(RuntimeError, match="no worker connected"):
             SweepRunner(results_dir=tmp_path, backend=backend).run(SMALL_GRID)
 
@@ -362,7 +366,9 @@ class TestBackendContract:
         """A --max-cells worker that leaves with cells still pending must
         not hang the sweep forever: the no-workers window aborts it (and a
         reconnecting worker would have reset the window)."""
-        backend = DistributedBackend(listen=("127.0.0.1", 0), startup_timeout_s=0.6)
+        backend = DistributedBackend(
+            listen=("127.0.0.1", 0), startup_timeout_s=0.6, local_fallback=False
+        )
         worker_thread, outcomes = start_worker(backend.address, max_cells=1)
         grid = SweepGrid(
             experiments=("section1_latency_budget", "section21_jitter_invariance"),

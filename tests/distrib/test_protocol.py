@@ -10,6 +10,7 @@ import pytest
 
 from repro.distrib.protocol import (
     MAX_MESSAGE_BYTES,
+    FrameTooLargeError,
     MessageChannel,
     ProtocolError,
     parse_address,
@@ -81,6 +82,49 @@ class TestFraming:
                 recv_message(b)
         finally:
             a.close(), b.close()
+
+    def test_oversized_announced_frame_is_typed_and_reads_no_body(self):
+        """The bound trips on the header alone — before any body byte is
+        read, so a hostile length prefix costs no allocation."""
+        a, b = pair()
+        try:
+            a.sendall(struct.pack(">I", 0xFFFF_FFFF))
+            with pytest.raises(FrameTooLargeError, match="announced"):
+                recv_message(b)
+            assert issubclass(FrameTooLargeError, ProtocolError)
+        finally:
+            a.close(), b.close()
+
+    def test_custom_max_bytes_bounds_recv(self):
+        a, b = pair()
+        try:
+            send_message(a, {"type": "result", "blob": "x" * 2_000})
+            with pytest.raises(FrameTooLargeError, match="limit 1024"):
+                recv_message(b, max_bytes=1024)
+        finally:
+            a.close(), b.close()
+
+    def test_oversized_outgoing_message_rejected_before_send(self):
+        a, b = pair()
+        try:
+            with pytest.raises(FrameTooLargeError, match="outgoing"):
+                send_message(a, {"type": "result", "blob": "x" * 2_000}, max_bytes=1024)
+            # Nothing went on the wire: the peer sees a clean EOF, not junk.
+            a.close()
+            assert recv_message(b) is None
+        finally:
+            b.close()
+
+    def test_eof_mid_header_raises(self):
+        """EOF inside the 4-byte length prefix is mid-frame, not clean."""
+        a, b = pair()
+        try:
+            a.sendall(b"\x00\x00")  # half a header
+            a.close()
+            with pytest.raises(ProtocolError, match="mid-frame"):
+                recv_message(b)
+        finally:
+            b.close()
 
     def test_non_json_frame_rejected(self):
         a, b = pair()

@@ -362,3 +362,109 @@ class TestParseErrors:
     def test_unparseable_file_is_a_finding_not_a_crash(self, lint_tree):
         result = lint_tree({"core/bad.py": "def broken(:\n"})
         assert rules_of(result) == ["parse-error"]
+
+
+class TestSocketTimeout:
+    """distrib/-scoped: no socket may block forever."""
+
+    def test_create_connection_without_timeout_flagged(self, lint_tree):
+        source = snippet(
+            """
+            import socket
+
+            def dial(address):
+                return socket.create_connection(address)
+            """
+        )
+        assert rules_of(lint_tree({"distrib/worker.py": source})) == ["socket-timeout"]
+
+    def test_create_connection_with_timeout_keyword_clean(self, lint_tree):
+        source = snippet(
+            """
+            import socket
+
+            def dial(address):
+                return socket.create_connection(address, timeout=5.0)
+            """
+        )
+        assert rules_of(lint_tree({"distrib/worker.py": source})) == []
+
+    def test_create_connection_with_positional_timeout_clean(self, lint_tree):
+        source = snippet(
+            """
+            import socket
+
+            def dial(address):
+                return socket.create_connection(address, 5.0)
+            """
+        )
+        assert rules_of(lint_tree({"distrib/worker.py": source})) == []
+
+    def test_settimeout_none_flagged(self, lint_tree):
+        source = snippet(
+            """
+            def patient(sock):
+                sock.settimeout(None)
+            """
+        )
+        assert rules_of(lint_tree({"distrib/coordinator.py": source})) == ["socket-timeout"]
+
+    def test_socket_without_later_settimeout_flagged(self, lint_tree):
+        source = snippet(
+            """
+            import socket
+
+            def serve():
+                server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                server.bind(("127.0.0.1", 0))
+                return server
+            """
+        )
+        assert rules_of(lint_tree({"distrib/coordinator.py": source})) == ["socket-timeout"]
+
+    def test_socket_with_later_settimeout_clean(self, lint_tree):
+        source = snippet(
+            """
+            import socket
+
+            def serve():
+                server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                server.settimeout(1.0)
+                return server
+            """
+        )
+        assert rules_of(lint_tree({"distrib/coordinator.py": source})) == []
+
+    def test_accept_without_settimeout_flagged(self, lint_tree):
+        source = snippet(
+            """
+            def accept_loop(server):
+                conn, peer = server.accept()
+                return conn
+            """
+        )
+        assert rules_of(lint_tree({"distrib/coordinator.py": source})) == ["socket-timeout"]
+
+    def test_accepted_socket_given_timeout_clean(self, lint_tree):
+        source = snippet(
+            """
+            def accept_loop(server):
+                conn, peer = server.accept()
+                conn.settimeout(2.0)
+                return conn
+            """
+        )
+        assert rules_of(lint_tree({"distrib/coordinator.py": source})) == []
+
+    def test_rule_is_scoped_to_distrib(self, lint_tree):
+        source = snippet(
+            """
+            import socket
+
+            def dial(address):
+                sock = socket.create_connection(address)
+                sock.settimeout(None)
+                return sock
+            """
+        )
+        assert rules_of(lint_tree({"analysis/fetch.py": source})) == []
