@@ -271,6 +271,23 @@ def main() -> None:
             "of degrading to the local multiprocessing pool"
         ),
     )
+    parser.add_argument(
+        "--status-json",
+        metavar="PATH",
+        default=None,
+        help=(
+            "append one fleet status snapshot per interval to this JSONL "
+            "file (the machine-readable twin of "
+            "python -m repro.distrib.monitor; autoscaling hook)"
+        ),
+    )
+    parser.add_argument(
+        "--status-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="seconds between status snapshots (monitors and --status-json)",
+    )
     args = parser.parse_args()
 
     backend = None
@@ -294,6 +311,8 @@ def main() -> None:
                 max_requeues=args.max_requeues,
                 startup_timeout_s=args.startup_timeout,
                 local_fallback=not args.no_local_fallback,
+                status_json=args.status_json,
+                status_interval_s=args.status_interval,
             )
         except ConfigError as exc:
             parser.error(str(exc))

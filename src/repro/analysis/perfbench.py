@@ -77,6 +77,7 @@ from ..net.transport import (
     drive_fixed_bitrate,
     run_fixed_bitrate_session,
 )
+from ..obs import Telemetry
 
 #: Schema identifier stamped into the emitted JSON.  v2 adds per-workload
 #: ``units``/``throughput`` (size-independent work measures for regression
@@ -265,6 +266,44 @@ def _run_closed_loop_session(
         hash(actions),
         hash(completions),
     )
+
+
+def _run_telemetry_stream(
+    duration_s: float,
+    fec: bool = False,
+    closed_loop: bool = False,
+    seed: int = 5,
+) -> str:
+    """One instrumented session; returns the deterministic telemetry export
+    (metric JSONL + sim-clock span JSONL, see ``Telemetry.sim_stream``).
+
+    Same discipline as the report-parity gates of PR 7: the stream is a
+    pure function of the seeded simulation, so the scalar and batched
+    paths — already bit-identical in their observable stats — must
+    serialize bit-identical telemetry, byte for byte.
+    """
+    telemetry = Telemetry()
+    uplink = PathConfig(
+        loss_model=GilbertElliottLoss(p_good_to_bad=0.04, p_bad_to_good=0.3, loss_in_bad=0.5),
+        seed=seed,
+    )
+    session = VideoTransportSession(
+        uplink_config=uplink,
+        transport_config=TransportConfig(
+            fec=FecConfig(group_size=5) if fec else None,
+            report_interval_s=0.2 if closed_loop else 0.0,
+        ),
+        controller=(
+            controller_from_spec(preset_controller_spec("gcc")) if closed_loop else None
+        ),
+        telemetry=telemetry,
+    )
+    if closed_loop:
+        drive_closed_loop(session, FixedBitrateWorkload(bitrate_bps=2e6), duration_s)
+    else:
+        drive_fixed_bitrate(session, FixedBitrateWorkload(bitrate_bps=4e6), duration_s)
+    session.finalize_telemetry()
+    return telemetry.sim_stream()
 
 
 def _run_smoke_sweep(results_dir: Path, duration_s: float, processes: Optional[int]) -> int:
@@ -502,6 +541,24 @@ def equivalence_report(session_duration_s: float = 2.0) -> dict[str, bool]:
         with fastpath_mode(True):
             fast = _run_closed_loop_session(session_duration_s, **kwargs)
         checks[label] = scalar == fast
+
+    # Telemetry stream equivalence: the obs counter/span export is an
+    # observable like any other.  The scalar and batched paths must
+    # serialize it bit-identically, and a repeated seeded fast-path run
+    # must reproduce it exactly (no wall-clock or RNG leakage into the
+    # sim-time stream).
+    telemetry_variants = {
+        "telemetry_stream_identical": dict(),
+        "telemetry_stream_identical_fec": dict(fec=True),
+        "telemetry_stream_identical_closed_loop": dict(closed_loop=True),
+    }
+    for label, kwargs in telemetry_variants.items():
+        with fastpath_mode(False):
+            scalar = _run_telemetry_stream(session_duration_s, **kwargs)
+        with fastpath_mode(True):
+            fast = _run_telemetry_stream(session_duration_s, **kwargs)
+            repeat = _run_telemetry_stream(session_duration_s, **kwargs)
+        checks[label] = scalar == fast == repeat
     return checks
 
 

@@ -27,6 +27,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterable, Mapping, Optional, Sequence, TYPE_CHECKING
 
+from ..obs import FAULT_AXES
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .sweeps import SweepReport
 
@@ -242,11 +244,11 @@ class FailedCell:
 
 
 #: (key in :meth:`SweepDigest.failure_hotspots`, human-readable axis title).
-_HOTSPOT_AXES = (
-    ("error_type", "fault class"),
-    ("cell", "experiment / scenario"),
-    ("worker", "worker"),
-)
+#: One vocabulary with the live telemetry: these are
+#: :data:`repro.obs.metrics.FAULT_AXES`, so the post-hoc hotspot tables and
+#: the coordinator's streamed ``fault_classes`` rank the same dimensions
+#: under the same names.
+_HOTSPOT_AXES = FAULT_AXES
 
 
 @dataclass

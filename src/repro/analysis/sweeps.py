@@ -37,6 +37,7 @@ import numpy as np
 
 from ..core import wallclock
 from ..net.emulator import bandwidth_trace_from_spec, loss_model_from_spec
+from ..obs import NULL_TELEMETRY, Telemetry
 from .registry import ExperimentSpec, get_experiment
 
 DEFAULT_RESULTS_DIR = "results"
@@ -627,11 +628,16 @@ class SweepRunner:
         processes: Optional[int] = None,
         use_cache: bool = True,
         backend: Optional[CellBackend] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.results_dir = Path(results_dir)
         self.processes = processes
         self.use_cache = use_cache
         self.backend = backend
+        # Runner-side telemetry only: cell spans and counters are recorded
+        # here, never written into the persisted cell records, which must
+        # stay byte-identical across local/distributed/chaos runs.
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
 
     # -- cache ----------------------------------------------------------------
 
@@ -671,15 +677,95 @@ class SweepRunner:
 
     def _run(self, grid: SweepGrid) -> SweepReport:
         started = wallclock.perf_counter()
+        trace = self.telemetry.trace
+        metrics = self.telemetry.metrics
+        cached_cells = metrics.counter("sweep.cells.cached")
+        executed_cells = metrics.counter("sweep.cells.executed")
+        failed_cells = metrics.counter("sweep.cells.failed")
+        run_span = trace.start(
+            "sweep.run", started, clock="wall", cells=grid.cell_count
+        )
+        try:
+            cells, pending = self._resolve_cache(grid, cached_cells, trace)
+
+            paths = {position: path for position, _, path in pending}
+            # Everything after this instant is dispatch + queue + execute:
+            # a cell's queue wait is the gap between this mark and the start
+            # of its (worker-measured) execution interval.
+            dispatch_started = wallclock.perf_counter()
+            for position, record in self._execute_stream(
+                [(position, payload) for position, payload, _ in pending]
+            ):
+                # Each cell's JSON is streamed to disk as soon as its record
+                # arrives, so a long sweep's finished cells survive interruption
+                # instead of being persisted only after every cell completes.
+                path = paths[position]
+                self._persist(path, record)
+                scenario = Scenario.from_jsonable(record["scenario"])
+                failed = record.get("error") is not None
+                (failed_cells if failed else executed_cells).inc()
+                if trace.enabled:
+                    arrival = wallclock.perf_counter()
+                    execute_s = float(record["elapsed_s"])
+                    trace.record(
+                        "sweep.cell",
+                        max(dispatch_started, arrival - execute_s),
+                        arrival,
+                        clock="wall",
+                        experiment=record["experiment"],
+                        scenario=scenario.name,
+                        seed=record["seed"],
+                        disposition="failed" if failed else "executed",
+                        queue_wait_s=max(0.0, arrival - dispatch_started - execute_s),
+                        execute_s=execute_s,
+                        worker=(record.get("error") or {}).get("worker"),
+                    )
+                cells[position] = SweepCell(
+                    experiment=record["experiment"],
+                    scenario=scenario,
+                    seed=record["seed"],
+                    cell_seed=record["cell_seed"],
+                    result=record["result"],
+                    from_cache=False,
+                    elapsed_s=record["elapsed_s"],
+                    path=path,
+                    cache_key=record["cache_key"],
+                    error=record.get("error"),
+                )
+        finally:
+            trace.finish(run_span, wallclock.perf_counter())
+
+        ordered = [cells[position] for position in sorted(cells)]
+        return SweepReport(cells=ordered, elapsed_s=wallclock.perf_counter() - started)
+
+    def _resolve_cache(
+        self, grid: SweepGrid, cached_cells, trace
+    ) -> tuple[dict[int, SweepCell], list[tuple[int, dict, Path]]]:
+        """Split the grid into cache-resolved cells and pending payloads."""
         cells: dict[int, SweepCell] = {}
         pending: list[tuple[int, dict, Path]] = []
-
         for position, (experiment, scenario, seed) in enumerate(grid.cells()):
             spec = get_experiment(experiment)
             key = cell_cache_key(spec, scenario, seed)
             path = self.cell_path(experiment, scenario, seed, key)
             cached = self._load_cached(path, key)
             if cached is not None:
+                cached_cells.inc()
+                if trace.enabled:
+                    resolved = wallclock.perf_counter()
+                    trace.record(
+                        "sweep.cell",
+                        resolved,
+                        resolved,
+                        clock="wall",
+                        experiment=experiment,
+                        scenario=scenario.name,
+                        seed=seed,
+                        disposition="cached",
+                        queue_wait_s=0.0,
+                        execute_s=0.0,
+                        worker=None,
+                    )
                 cells[position] = SweepCell(
                     experiment=experiment,
                     scenario=scenario,
@@ -700,32 +786,7 @@ class SweepRunner:
                 "cache_key": key,
             }
             pending.append((position, payload, path))
-
-        paths = {position: path for position, _, path in pending}
-        for position, record in self._execute_stream(
-            [(position, payload) for position, payload, _ in pending]
-        ):
-            # Each cell's JSON is streamed to disk as soon as its record
-            # arrives, so a long sweep's finished cells survive interruption
-            # instead of being persisted only after every cell completes.
-            path = paths[position]
-            self._persist(path, record)
-            scenario = Scenario.from_jsonable(record["scenario"])
-            cells[position] = SweepCell(
-                experiment=record["experiment"],
-                scenario=scenario,
-                seed=record["seed"],
-                cell_seed=record["cell_seed"],
-                result=record["result"],
-                from_cache=False,
-                elapsed_s=record["elapsed_s"],
-                path=path,
-                cache_key=record["cache_key"],
-                error=record.get("error"),
-            )
-
-        ordered = [cells[position] for position in sorted(cells)]
-        return SweepReport(cells=ordered, elapsed_s=wallclock.perf_counter() - started)
+        return cells, pending
 
     def _execute_stream(
         self, items: list[tuple[int, dict]]

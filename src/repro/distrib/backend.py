@@ -29,6 +29,8 @@ sweep that *can* complete locally always does.  Disable with
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
 from typing import Iterable, Optional, Sequence, Union
 
 from ..analysis.sweeps import CellBackend, LocalPoolBackend
@@ -65,6 +67,13 @@ class DistributedBackend(CellBackend):
     :class:`~repro.distrib.config.DistribTimeouts` /
     :class:`~repro.distrib.config.RetryPolicy` pair; ``max_requeues`` stays
     as a convenience override for the common case.
+
+    ``status_json`` names a JSONL file that receives one
+    :data:`~repro.distrib.protocol.STATUS_SCHEMA` fleet snapshot per
+    ``status_interval_s`` (plus one terminal frame at close) — the
+    machine-readable twin of ``python -m repro.distrib.monitor`` and the
+    ROADMAP's autoscaling hook: a supervisor tails it and spawns or retires
+    workers against ``queue_depth``.
     """
 
     def __init__(
@@ -78,14 +87,23 @@ class DistributedBackend(CellBackend):
         startup_timeout_s: Optional[float] = 120.0,
         local_fallback: bool = True,
         fallback_processes: Optional[int] = None,
+        status_json: Optional[Union[str, Path]] = None,
+        status_interval_s: float = 1.0,
     ) -> None:
         if listen is None and not workers:
             raise ValueError("provide listen= and/or workers= so cells have somewhere to go")
+        self._status_file = None
+        if status_json is not None:
+            path = Path(status_json)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._status_file = path.open("a", encoding="utf-8")
         self.coordinator = SweepCoordinator(
             fingerprint=fingerprint,
             timeouts=timeouts,
             retry=retry,
             max_requeues=max_requeues,
+            status_interval_s=status_interval_s,
+            status_sink=self._write_status if self._status_file is not None else None,
         )
         self.startup_timeout_s = startup_timeout_s
         self.local_fallback = local_fallback
@@ -96,6 +114,12 @@ class DistributedBackend(CellBackend):
         if listen is not None:
             host, port = _as_address(listen)
             self.address = self.coordinator.bind(host, port)
+
+    def _write_status(self, snapshot: dict) -> None:
+        # Line-buffered JSONL with an explicit flush per frame: a tailing
+        # supervisor sees each snapshot as soon as it is emitted.
+        self._status_file.write(json.dumps(snapshot, sort_keys=True) + "\n")
+        self._status_file.flush()
 
     @property
     def stats(self):
@@ -108,7 +132,15 @@ class DistributedBackend(CellBackend):
         ``execute`` is consumed, so the eagerly-bound port, accept thread
         and any already-connected workers are always released.
         """
+        # Coordinator first: close() emits the terminal status frame and
+        # joins the emitter thread, so the sink file must still be open.
         self.coordinator.close()
+        if self._status_file is not None:
+            try:
+                self._status_file.close()
+            except OSError:
+                pass
+            self._status_file = None
 
     def describe(self) -> str:
         parts = []

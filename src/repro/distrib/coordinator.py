@@ -32,12 +32,13 @@ import socket
 import threading
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Iterator, Optional, Sequence
+from typing import Callable, Iterator, Optional, Sequence
 
 from ..analysis.sweeps import _package_fingerprint, error_record
 from ..core import wallclock
+from ..obs import WORKER_COUNTER_FIELDS
 from .config import DEFAULT_RETRY, DEFAULT_TIMEOUTS, DistribTimeouts, RetryPolicy
-from .protocol import PROTOCOL_VERSION, MessageChannel, ProtocolError
+from .protocol import PROTOCOL_VERSION, STATUS_SCHEMA, MessageChannel, ProtocolError
 
 
 class NoWorkersError(RuntimeError):
@@ -49,7 +50,14 @@ class NoWorkersError(RuntimeError):
 @dataclass
 class WorkerStats:
     """Per-worker operational counters (keyed by worker name, so a
-    reconnecting worker's sessions accumulate into one row)."""
+    reconnecting worker's sessions accumulate into one row).
+
+    The field set *is* the fleet metric vocabulary
+    (:data:`repro.obs.metrics.WORKER_COUNTER_FIELDS`): the live ``status``
+    stream and the post-hoc hotspot tables in ``repro.analysis.report``
+    both serialize these counters through :meth:`to_jsonable`, so there is
+    exactly one bookkeeping site and one naming scheme.
+    """
 
     sessions: int = 0
     dispatched: int = 0
@@ -59,14 +67,12 @@ class WorkerStats:
     requeued_cells: int = 0
 
     def to_jsonable(self) -> dict:
-        return {
-            "sessions": self.sessions,
-            "dispatched": self.dispatched,
-            "completed": self.completed,
-            "failed": self.failed,
-            "lost": self.lost,
-            "requeued_cells": self.requeued_cells,
-        }
+        return {name: getattr(self, name) for name in WORKER_COUNTER_FIELDS}
+
+
+# The dataclass and the shared vocabulary must never drift apart: a field
+# added to one without the other fails at import time, not in a report.
+assert tuple(WorkerStats.__dataclass_fields__) == WORKER_COUNTER_FIELDS
 
 
 @dataclass
@@ -87,6 +93,12 @@ class CoordinatorStats:
     #: Cells executed by the local-pool fallback after the worker pool
     #: emptied (filled in by the backend, not the coordinator).
     fallback_cells: int = 0
+    #: Read-only ``status`` observers that completed the handshake.
+    monitors_connected: int = 0
+    #: Fault-class counters: error-record ``type`` -> count.  Keys are the
+    #: same strings report.py's ``error_type`` hotspot axis ranks, so the
+    #: live stream and the post-hoc report share one fault vocabulary.
+    fault_classes: dict[str, int] = field(default_factory=dict)
     #: Per-worker breakdown for the fleet hotspot report.
     per_worker: dict[str, WorkerStats] = field(default_factory=dict)
 
@@ -118,11 +130,17 @@ class SweepCoordinator:
         timeouts: Optional[DistribTimeouts] = None,
         retry: Optional[RetryPolicy] = None,
         max_requeues: Optional[int] = None,
+        status_interval_s: float = 1.0,
+        status_sink: Optional[Callable[[dict], None]] = None,
     ) -> None:
         self.fingerprint = fingerprint if fingerprint is not None else _package_fingerprint()
         self.timeouts = timeouts if timeouts is not None else DEFAULT_TIMEOUTS
         retry = retry if retry is not None else DEFAULT_RETRY
         self.retry = retry.override(max_requeues=max_requeues)
+        if status_interval_s <= 0:
+            raise ValueError(f"status_interval_s must be positive, got {status_interval_s!r}")
+        self.status_interval_s = status_interval_s
+        self.status_sink = status_sink
         self.stats = CoordinatorStats()
         self.address: Optional[tuple[str, int]] = None
 
@@ -141,6 +159,13 @@ class SweepCoordinator:
         # Instant the live-worker count last hit zero; drives the
         # no-workers timeout in :meth:`results`.
         self._workers_gone_since = wallclock.monotonic()
+        # Status stream state: attached read-only monitors, the emitter
+        # thread's stop latch, and a monotonic frame sequence number.
+        self._monitors: list[MessageChannel] = []
+        self._stop_status = threading.Event()
+        self._status_thread_started = False
+        self._status_seq = 0
+        self._started_monotonic: Optional[float] = None
 
     @property
     def submitted(self) -> bool:
@@ -176,6 +201,7 @@ class SweepCoordinator:
         self._server = server
         self.address = server.getsockname()[:2]
         self._spawn(self._accept_loop, name="distrib-accept")
+        self._ensure_status_thread()
         return self.address
 
     def connect_workers(self, addresses: Sequence[tuple[str, int]]) -> None:
@@ -224,10 +250,14 @@ class SweepCoordinator:
             if self._submitted:
                 raise RuntimeError("a coordinator serves exactly one sweep")
             self._submitted = True
+            self._started_monotonic = wallclock.monotonic()
             for task_id, payload in tasks:
                 self._tasks[task_id] = payload
                 self._pending.append(task_id)
                 self._unresolved.add(task_id)
+        # Dial-out-only coordinators never call bind(); start the status
+        # stream here too so a --status-json sink still gets frames.
+        self._ensure_status_thread()
 
     def _next_action(self, connection: _Connection) -> tuple[str, Optional[str], Optional[dict]]:
         with self._lock:
@@ -263,10 +293,14 @@ class SweepCoordinator:
             self.stats.completed += 1
             if connection is not None:
                 self.stats.worker(connection.name).completed += 1
-            if record.get("error") is not None:
+            error = record.get("error")
+            if error is not None:
                 self.stats.failed += 1
                 if connection is not None:
                     self.stats.worker(connection.name).failed += 1
+                # Same key report.py's ``error_type`` hotspot axis ranks.
+                fault = str(error.get("type") or "Unknown") if isinstance(error, dict) else "Unknown"
+                self.stats.fault_classes[fault] = self.stats.fault_classes.get(fault, 0) + 1
         self._out.put((task_id, record))
 
     def _requeue_inflight(self, connection: _Connection, reason: str, penalize: bool = True) -> None:
@@ -312,6 +346,126 @@ class SweepCoordinator:
             self.stats.workers_lost += 1
             self.stats.worker(connection.name).lost += 1
 
+    # -- status stream -----------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Cells waiting for dispatch (pending; excludes in-flight).
+
+        Public so supervisors (the ROADMAP's autoscaling hook) can poll
+        backlog directly; the ``status`` stream reads the same state."""
+        with self._lock:
+            return len(self._pending)
+
+    def inflight_by_worker(self) -> dict[str, int]:
+        """Cells currently executing, keyed by worker name.
+
+        A worker that reconnected contributes all of its live connections'
+        in-flight cells to one row (names key the aggregation, exactly as
+        in :class:`WorkerStats`)."""
+        with self._lock:
+            return self._inflight_by_worker_locked()
+
+    def _inflight_by_worker_locked(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for connection in self._connections:
+            if connection.inflight:
+                counts[connection.name] = counts.get(connection.name, 0) + len(connection.inflight)
+        return counts
+
+    def status_snapshot(self) -> dict:
+        """One machine-readable fleet snapshot — the ``status`` payload.
+
+        The same dict is streamed to attached monitors, written (one JSON
+        object per line) by the backend's ``--status-json`` sink, and
+        available here for tests and supervisors.  Shape is versioned by
+        :data:`~repro.distrib.protocol.STATUS_SCHEMA`; fields are documented
+        in docs/OBSERVABILITY.md.
+        """
+        with self._lock:
+            self._status_seq += 1
+            inflight = self._inflight_by_worker_locked()
+            workers = {
+                name: {**stats.to_jsonable(), "inflight": inflight.get(name, 0)}
+                for name, stats in sorted(self.stats.per_worker.items())
+            }
+            elapsed = (
+                wallclock.monotonic() - self._started_monotonic
+                if self._started_monotonic is not None
+                else 0.0
+            )
+            return {
+                "schema": STATUS_SCHEMA,
+                "seq": self._status_seq,
+                "elapsed_s": elapsed,
+                "total": len(self._tasks),
+                "queue_depth": len(self._pending),
+                "inflight": sum(inflight.values()),
+                "unresolved": len(self._unresolved),
+                "dispatched": self.stats.dispatched,
+                "completed": self.stats.completed,
+                "failed": self.stats.failed,
+                "requeued": self.stats.requeued,
+                "duplicates_dropped": self.stats.duplicates_dropped,
+                "workers_live": self._live_workers,
+                "workers": workers,
+                "fault_classes": dict(sorted(self.stats.fault_classes.items())),
+                "done": self._submitted and not self._unresolved,
+            }
+
+    def _ensure_status_thread(self) -> None:
+        with self._lock:
+            if self._status_thread_started or self._closed:
+                return
+            self._status_thread_started = True
+        self._spawn(self._status_loop, name="distrib-status")
+
+    def _status_loop(self) -> None:
+        while not self._stop_status.wait(self.status_interval_s):
+            self._emit_status()
+
+    def _emit_status(self) -> None:
+        snapshot = self.status_snapshot()
+        if self.status_sink is not None:
+            try:
+                self.status_sink(snapshot)
+            except OSError:
+                # A full disk or broken pipe on the sink must not take the
+                # sweep down; the next frame will try again.
+                pass
+        with self._lock:
+            monitors = list(self._monitors)
+        for channel in monitors:
+            try:
+                channel.send("status", **snapshot)
+            except (OSError, ProtocolError):
+                # A departed monitor is routine; detach and move on.
+                with self._lock:
+                    if channel in self._monitors:
+                        self._monitors.remove(channel)
+                channel.close()
+
+    def _monitor_loop(self, channel: MessageChannel) -> None:
+        with self._lock:
+            self._monitors.append(channel)
+        try:
+            # One immediate frame so an attaching monitor renders the fleet
+            # without waiting out the first interval.
+            channel.send("status", **self.status_snapshot())
+            while True:
+                try:
+                    message = channel.recv()
+                except (TimeoutError, socket.timeout):
+                    # Monitors are read-mostly; silence is normal, not death.
+                    continue
+                if message is None or message.get("type") == "bye":
+                    return
+                # Anything else from a monitor is ignored (forward compat).
+        finally:
+            with self._lock:
+                if channel in self._monitors:
+                    self._monitors.remove(channel)
+
     # -- per-connection session --------------------------------------------
 
     def _serve_connection(self, sock: socket.socket, addr) -> None:
@@ -326,7 +480,16 @@ class SweepCoordinator:
                 protocol=PROTOCOL_VERSION,
                 fingerprint=self.fingerprint,
             )
-            if not self._handshake(channel, connection):
+            role = self._handshake(channel, connection)
+            if role is None:
+                return
+            if role == "monitor":
+                # Read-only observer: deliberately NOT registered as a live
+                # worker — an attached monitor must not keep a workerless
+                # sweep from timing out into the local fallback.
+                with self._lock:
+                    self.stats.monitors_connected += 1
+                self._monitor_loop(channel)
                 return
             with self._lock:
                 self.stats.workers_connected += 1
@@ -347,22 +510,29 @@ class SweepCoordinator:
                         self._workers_gone_since = wallclock.monotonic()
             channel.close()
 
-    def _handshake(self, channel: MessageChannel, connection: _Connection) -> bool:
+    def _handshake(self, channel: MessageChannel, connection: _Connection) -> Optional[str]:
+        """Run the accept side of the handshake; returns the peer's role
+        (``"worker"`` or ``"monitor"``) on success, None on refusal."""
         message = channel.recv()
-        if message is None or message.get("type") != "hello" or message.get("role") != "worker":
-            return False
+        if message is None or message.get("type") != "hello":
+            return None
+        role = message.get("role")
+        if role not in ("worker", "monitor"):
+            return None
         if message.get("worker"):
             connection.name = str(message["worker"])
         reason = None
         if message.get("protocol") != PROTOCOL_VERSION:
             reason = (
                 f"protocol version mismatch: coordinator speaks {PROTOCOL_VERSION}, "
-                f"worker speaks {message.get('protocol')}"
+                f"peer speaks {message.get('protocol')}"
             )
-        elif message.get("fingerprint") != self.fingerprint:
+        elif role == "worker" and message.get("fingerprint") != self.fingerprint:
             # The cell cache key folds in this fingerprint; a worker running
             # a different source tree would compute *different* results for
             # the same cache key, silently corrupting the results directory.
+            # Monitors never execute cells, so they skip this check — any
+            # checkout may observe a sweep.
             reason = (
                 "package fingerprint mismatch: the worker's repro source tree "
                 "differs from the coordinator's — update the worker's checkout"
@@ -371,9 +541,9 @@ class SweepCoordinator:
             with self._lock:
                 self.stats.workers_rejected += 1
             channel.send("reject", reason=reason)
-            return False
+            return None
         channel.send("welcome")
-        return True
+        return role
 
     def _session_loop(self, channel: MessageChannel, connection: _Connection) -> None:
         while True:
@@ -498,6 +668,12 @@ class SweepCoordinator:
         """
         if self._closed:
             return
+        # One terminal frame (``done`` true on a completed sweep, final
+        # counters either way) so sinks and monitors see how it ended
+        # before the stream stops.
+        if self._status_thread_started:
+            self._emit_status()
+        self._stop_status.set()
         self._closed = True
         if linger_s is None:
             linger_s = self.timeouts.linger_s
@@ -513,5 +689,8 @@ class SweepCoordinator:
                 thread.join(timeout=remaining)
         with self._lock:
             connections = list(self._connections)
+            monitors = list(self._monitors)
         for connection in connections:
             connection.channel.close()
+        for channel in monitors:
+            channel.close()

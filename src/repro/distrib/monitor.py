@@ -1,0 +1,201 @@
+"""Live fleet observatory: watch a running sweep from the outside.
+
+Attach a read-only monitor to any coordinator (one started by
+``examples/sweep_scenarios.py --serve`` or an embedded
+:class:`~repro.distrib.backend.DistributedBackend`)::
+
+    python -m repro.distrib.monitor --connect HOST:PORT
+
+The coordinator streams one :data:`~repro.distrib.protocol.STATUS_SCHEMA`
+snapshot per ``status_interval_s`` — queue depth, per-worker counters and
+in-flight cells, fault classes — and the monitor renders them as a live
+TTY dashboard (per-worker throughput is derived from successive frames).
+``--json`` emits the raw frames as JSONL instead, and ``--once`` exits
+after the first frame (smoke tests, supervisors probing a fleet).
+
+Monitors are second-class on purpose: the handshake checks the protocol
+version but **not** the source-tree fingerprint (a monitor never executes
+cells, so any checkout may observe any sweep), and an attached monitor
+does not count as a live worker — it cannot keep a workerless sweep from
+falling back to local execution.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import socket
+import sys
+from typing import Iterator, Optional, TextIO
+
+from .config import DEFAULT_TIMEOUTS
+from .protocol import (
+    PROTOCOL_VERSION,
+    STATUS_SCHEMA,
+    MessageChannel,
+    ProtocolError,
+    parse_address,
+)
+
+
+class MonitorError(RuntimeError):
+    """The coordinator refused the attach, or spoke an unknown schema."""
+
+
+def attach(
+    address: tuple[str, int],
+    connect_timeout_s: float = 10.0,
+    io_timeout_s: float = DEFAULT_TIMEOUTS.io_timeout_s,
+) -> MessageChannel:
+    """Dial the coordinator and complete a read-only monitor handshake."""
+    sock = socket.create_connection(address, timeout=connect_timeout_s)
+    sock.settimeout(io_timeout_s)
+    channel = MessageChannel(sock)
+    ok = False
+    try:
+        hello = channel.recv()
+        if hello is None or hello.get("type") != "hello" or hello.get("role") != "coordinator":
+            raise MonitorError("peer did not identify as a coordinator")
+        channel.send("hello", role="monitor", protocol=PROTOCOL_VERSION)
+        reply = channel.recv()
+        if reply is None:
+            raise MonitorError("coordinator closed during the handshake")
+        if reply.get("type") == "reject":
+            raise MonitorError(f"coordinator rejected the monitor: {reply.get('reason')}")
+        if reply.get("type") != "welcome":
+            raise MonitorError(f"unexpected handshake reply {reply.get('type')!r}")
+        ok = True
+        return channel
+    finally:
+        if not ok:
+            channel.close()
+
+
+def frames(channel: MessageChannel) -> Iterator[dict]:
+    """Yield ``status`` snapshots until the stream ends.
+
+    A receive timeout is not fatal — a coordinator between frames is just
+    quiet — and EOF (the coordinator closed after its terminal frame) ends
+    the iteration cleanly.  A frame with a schema this monitor does not
+    speak raises :class:`MonitorError` instead of being mis-rendered.
+    """
+    while True:
+        try:
+            message = channel.recv()
+        except (TimeoutError, socket.timeout):
+            continue
+        except (OSError, ProtocolError):
+            return
+        if message is None:
+            return
+        if message.get("type") != "status":
+            continue  # unknown messages are ignored (forward compatibility)
+        if message.get("schema") != STATUS_SCHEMA:
+            raise MonitorError(
+                f"unknown status schema {message.get('schema')!r} "
+                f"(this monitor speaks {STATUS_SCHEMA})"
+            )
+        yield message
+
+
+def render_frame(frame: dict, previous: Optional[dict], out: TextIO) -> None:
+    """Write one dashboard view of ``frame`` to ``out``.
+
+    ``previous`` (the prior frame, if any) supplies the baseline for the
+    per-worker throughput column; on a TTY the screen is redrawn in place.
+    """
+    if out.isatty():
+        out.write("\x1b[H\x1b[2J")
+    lines = [
+        f"fleet status  seq {frame.get('seq')}  t={frame.get('elapsed_s', 0.0):7.1f}s"
+        + ("  [done]" if frame.get("done") else ""),
+        f"  cells    {frame.get('completed', 0)}/{frame.get('total', 0)} resolved"
+        f"  ({frame.get('failed', 0)} failed, {frame.get('requeued', 0)} requeued)",
+        f"  queue    {frame.get('queue_depth', 0)} pending, {frame.get('inflight', 0)} in flight",
+        f"  workers  {frame.get('workers_live', 0)} live",
+    ]
+    prev_workers = (previous or {}).get("workers", {})
+    dt = frame.get("elapsed_s", 0.0) - (previous or {}).get("elapsed_s", 0.0)
+    for name, row in sorted(frame.get("workers", {}).items()):
+        if previous is not None and dt > 0:
+            done_delta = row.get("completed", 0) - prev_workers.get(name, {}).get("completed", 0)
+            rate = f"{done_delta / dt:6.2f} cells/s"
+        else:
+            rate = "      -"
+        lines.append(
+            f"    {name:<24} inflight {row.get('inflight', 0):>3}"
+            f"  completed {row.get('completed', 0):>4}"
+            f"  failed {row.get('failed', 0):>3}  {rate}"
+        )
+    faults = frame.get("fault_classes", {})
+    if faults:
+        lines.append("  faults   " + ", ".join(f"{k} x{v}" for k, v in sorted(faults.items())))
+    out.write("\n".join(lines) + "\n")
+    out.flush()
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Attach a live read-only dashboard to a running sweep coordinator."
+    )
+    parser.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address (examples/sweep_scenarios.py --serve)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit raw status frames as JSONL instead of the dashboard",
+    )
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="exit after the first status frame (smoke tests, fleet probes)",
+    )
+    parser.add_argument(
+        "--connect-timeout", type=float, default=10.0, help="seconds to wait for the dial"
+    )
+    parser.add_argument(
+        "--io-timeout",
+        type=float,
+        default=DEFAULT_TIMEOUTS.io_timeout_s,
+        help="socket receive timeout between frames",
+    )
+    args = parser.parse_args(argv)
+    address = parse_address(args.connect)
+    try:
+        channel = attach(
+            address, connect_timeout_s=args.connect_timeout, io_timeout_s=args.io_timeout
+        )
+    except (OSError, ProtocolError, MonitorError) as exc:
+        print(f"monitor: {exc}", file=sys.stderr)
+        return 2
+    previous: Optional[dict] = None
+    try:
+        for frame in frames(channel):
+            if args.json:
+                print(json.dumps(frame, sort_keys=True))
+            else:
+                render_frame(frame, previous, sys.stdout)
+            previous = frame
+            if args.once or frame.get("done"):
+                break
+    except MonitorError as exc:
+        print(f"monitor: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        try:
+            channel.send("bye")
+        except (OSError, ProtocolError):
+            pass
+        channel.close()
+    if previous is None:
+        print("monitor: stream ended before the first status frame", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,7 +25,14 @@ type               direction  fields
 ``result``         → coord    ``task_id``, ``record`` (result *or* error record)
 ``heartbeat``      → coord    liveness while executing; carries nothing
 ``bye``            → coord    graceful disconnect (e.g. ``--max-cells`` reached)
+``status``         coord →    one :data:`STATUS_SCHEMA` fleet snapshot (queue
+                              depth, per-worker counters, fault classes),
+                              streamed to attached monitors
+                              (``python -m repro.distrib.monitor``)
 =================  =========  =================================================
+
+Peers are either ``worker`` s (execute cells) or ``monitor`` s (read-only
+observers of the ``status`` stream); the role rides in the ``hello``.
 
 The coordinator treats *any* received message as proof of liveness; a
 worker that stays silent longer than the heartbeat timeout is presumed
@@ -63,8 +70,15 @@ MESSAGE_TYPES = frozenset(
         "result",
         "heartbeat",
         "bye",
+        "status",
     }
 )
+
+#: Schema identifier carried by every ``status`` payload (and every line of
+#: a ``--status-json`` stream).  Bump when the snapshot shape changes; the
+#: monitor refuses frames it does not understand instead of mis-rendering
+#: them.  Field reference: docs/OBSERVABILITY.md.
+STATUS_SCHEMA = "repro-status-v1"
 
 _HEADER = struct.Struct(">I")
 

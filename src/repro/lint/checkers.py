@@ -66,6 +66,13 @@ RULES: dict[str, str] = {
         "settimeout() in the same function — a blocking-forever read turns "
         "one silent peer into a hung fleet"
     ),
+    "print-discipline": (
+        "bare print() in library code pollutes stdout that tools parse "
+        "(JSONL status streams, reports, telemetry exports); only CLI entry "
+        "modules (__main__.py, or a module with a top-level "
+        "if __name__ == '__main__' guard) may print, and an explicit "
+        "print(..., file=...) destination is always allowed"
+    ),
 }
 
 #: Modules whose dataclasses must declare ``slots=True`` (hot paths where
@@ -561,6 +568,74 @@ class BroadExceptChecker(ScopedVisitor):
 
 
 # ---------------------------------------------------------------------------
+# Rule 8: print discipline
+# ---------------------------------------------------------------------------
+
+
+class PrintDisciplineChecker(ScopedVisitor):
+    """No bare ``print()`` outside CLI entry modules.
+
+    Library stdout is load-bearing here: monitors emit JSONL status frames,
+    the report CLI pipes Markdown, and telemetry exports are byte-compared
+    by equivalence gates — a stray ``print`` in a library module corrupts
+    whichever of those streams happens to share the process.  Exemptions:
+
+    * ``__main__.py`` modules (they *are* the CLI);
+    * modules with a top-level ``if __name__ == "__main__":`` guard (the
+      conventional CLI-entry shape — ``worker.py``, ``chaos.py``, ...);
+    * calls passing an explicit ``file=`` destination, which state where
+      the bytes go instead of defaulting to whoever owns stdout.
+    """
+
+    rule = "print-discipline"
+
+    def __init__(self, ctx: FileContext) -> None:
+        super().__init__(ctx)
+        self._exempt_module = self._is_cli_module(ctx)
+
+    @classmethod
+    def _is_cli_module(cls, ctx: FileContext) -> bool:
+        if PurePosixPath(ctx.relpath).name == "__main__.py":
+            return True
+        return any(
+            isinstance(node, ast.If) and cls._is_main_guard(node.test)
+            for node in ctx.tree.body
+        )
+
+    @staticmethod
+    def _is_main_guard(test: ast.AST) -> bool:
+        if not (isinstance(test, ast.Compare) and len(test.ops) == 1):
+            return False
+        if not isinstance(test.ops[0], ast.Eq):
+            return False
+        operands = (test.left, test.comparators[0])
+        has_name = any(
+            isinstance(side, ast.Name) and side.id == "__name__" for side in operands
+        )
+        has_main = any(
+            isinstance(side, ast.Constant) and side.value == "__main__" for side in operands
+        )
+        return has_name and has_main
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            not self._exempt_module
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+            and not any(keyword.arg == "file" for keyword in node.keywords)
+        ):
+            self.emit(
+                node,
+                self.rule,
+                "bare print() in a library module writes to stdout that "
+                "tools parse; return the value, pass an explicit "
+                "print(..., file=...), or move the output to a CLI module "
+                "(__main__.py or one with an if __name__ == '__main__' guard)",
+            )
+        self.generic_visit(node)
+
+
+# ---------------------------------------------------------------------------
 # Rule 9: socket timeouts in distrib/
 # ---------------------------------------------------------------------------
 
@@ -679,6 +754,7 @@ FILE_CHECKERS = (
     FloatTimeEqChecker,
     MutableDefaultChecker,
     BroadExceptChecker,
+    PrintDisciplineChecker,
     SocketTimeoutChecker,
 )
 

@@ -39,6 +39,12 @@ from .packet import (
     SequenceWindow,
 )
 from .stats import TransportStats
+from repro.obs import NULL_TELEMETRY, Telemetry
+
+#: Fixed bucket edges (seconds) for the per-frame delivery latency
+#: histogram — fixed so the serialized stream is a pure function of the
+#: observation sequence (see repro.obs.metrics.Histogram).
+FRAME_LATENCY_BUCKETS_S = (0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.5, 0.75, 1.0, 2.0)
 
 
 @dataclass(slots=True)
@@ -984,10 +990,33 @@ class VideoTransportSession:
         transport_config: Optional[TransportConfig] = None,
         on_frame: Optional[Callable[[FrameDeliveryEvent], None]] = None,
         controller: Optional[SenderController] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.loop = EventLoop()
         self.transport_config = transport_config or TransportConfig()
         self.stats = TransportStats()
+
+        # Telemetry is strictly opt-in: the default NULL_TELEMETRY hands out
+        # no-op instruments, so the increments below cost one method call and
+        # the session's behaviour is unchanged (gated in tests and perfbench).
+        # Counters are incremented only at points that are bit-identical
+        # across the scalar and batched delivery paths; the bulk counters are
+        # published from final stats by finalize_telemetry().
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._m_nacks = self.telemetry.metrics.counter("net.session.nacks_sent")
+        self._m_reports = self.telemetry.metrics.counter("net.session.reports_received")
+        self._m_actions = self.telemetry.metrics.counter("net.session.controller_actions")
+        self._telemetry_finalized = False
+        # The per-session span runs on sim-time; its attributes carry only
+        # mode-independent facts so the serialized stream stays identical
+        # under REPRO_NET_FASTPATH=0/1.
+        self._session_span = self.telemetry.trace.start(
+            "net.session",
+            self.loop.now,
+            clock="sim",
+            fec=(self.transport_config.fec is not None),
+            controller=(controller is not None),
+        )
 
         uplink_config = uplink_config or PathConfig()
         feedback_config = feedback_config or PathConfig(
@@ -1122,6 +1151,7 @@ class VideoTransportSession:
             metadata={"request": request},
         )
         self._nack_sequence += 1
+        self._m_nacks.inc()
         self.feedback.send(packet)
 
     def _queue_sequence_nack(self, request: SequenceNackRequest) -> None:
@@ -1137,6 +1167,7 @@ class VideoTransportSession:
             metadata={"request": request},
         )
         self._nack_sequence += 1
+        self._m_nacks.inc()
         self.feedback.send(packet)
 
     def _queue_report(self, report: ReceiverReport) -> None:
@@ -1162,6 +1193,7 @@ class VideoTransportSession:
 
     def _apply_action(self, action: ControlAction) -> None:
         self.control_log.append((self.loop.now, action))
+        self._m_actions.inc()
         self.sender.apply_action(action)
 
     def _deliver_feedback(self, packet: Packet, arrival_time: float) -> None:
@@ -1175,6 +1207,7 @@ class VideoTransportSession:
         report = packet.metadata.get("report")
         if report is not None:
             self.reports_received += 1
+            self._m_reports.inc()
             if self.controller is not None:
                 self._apply_action(self.controller.on_report(report, self.loop.now))
 
@@ -1204,6 +1237,47 @@ class VideoTransportSession:
             "spurious_recoveries": decoder.spurious_recoveries,
             "pending_parity_frames": decoder.pending_parity_frames,
         }
+
+    def finalize_telemetry(self) -> None:
+        """Close the per-session span and publish the end-of-run counters.
+
+        Idempotent, and a no-op when telemetry is disabled.  Every value
+        read here — sender counters, path counters, per-frame latencies,
+        FEC recovery counts — is bit-identical across the scalar and
+        batched delivery paths (held by the stats-equivalence gates), so
+        the serialized telemetry stream is bit-identical too; perfbench
+        gates that directly (``telemetry_stream_identical``).
+        """
+        telemetry = self.telemetry
+        if not telemetry.enabled or self._telemetry_finalized:
+            return
+        self._telemetry_finalized = True
+        metrics = telemetry.metrics
+        frames = self.stats.frames
+        metrics.counter("net.session.frames_sent").inc(len(frames))
+        metrics.counter("net.session.packets_sent").inc(self.sender.packets_sent)
+        metrics.counter("net.session.bytes_sent").inc(self.sender.bytes_sent)
+        metrics.counter("net.session.retransmissions_sent").inc(
+            self.sender.retransmissions_sent
+        )
+        path = self.uplink.stats
+        metrics.counter("net.session.packets_dropped").inc(
+            path.packets_lost_random + path.packets_dropped_queue
+        )
+        fec = self.fec_summary()
+        metrics.counter("net.session.fec.recovered").inc(fec["recovered_packets"])
+        metrics.counter("net.session.fec.spurious").inc(fec["spurious_recoveries"])
+        delivered = metrics.counter("net.session.frames_delivered")
+        latency = metrics.histogram(
+            "net.session.frame_latency_s", FRAME_LATENCY_BUCKETS_S
+        )
+        # stats.frames is frame_id-sorted, so the observation order (and the
+        # histogram's float total) is deterministic and mode-independent.
+        for record in frames:
+            if record.transmission_latency is not None:
+                delivered.inc()
+                latency.observe(record.transmission_latency)
+        telemetry.trace.finish(self._session_span, self.loop.now)
 
 
 @dataclass(slots=True)
@@ -1321,14 +1395,19 @@ def run_fixed_bitrate_session(
     feedback_config: Optional[PathConfig] = None,
     transport_config: Optional[TransportConfig] = None,
     workload: Optional[FixedBitrateWorkload] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> TransportStats:
     """Run a constant-bitrate transmission and return per-frame statistics.
 
     This is the primitive behind the Figure 3 reproduction: sweep
     ``bitrate_bps`` and the path loss rate, and look at the frame
-    transmission latency distribution.
+    transmission latency distribution.  Passing an enabled ``telemetry``
+    additionally publishes the session's counter/span stream into it.
     """
-    session = VideoTransportSession(uplink_config, feedback_config, transport_config)
+    session = VideoTransportSession(
+        uplink_config, feedback_config, transport_config, telemetry=telemetry
+    )
     workload = workload or FixedBitrateWorkload(bitrate_bps=bitrate_bps, fps=fps)
     drive_fixed_bitrate(session, workload, duration_s)
+    session.finalize_telemetry()
     return session.stats

@@ -1,0 +1,88 @@
+"""repro.obs — the deterministic telemetry spine.
+
+Two primitives and a bundle:
+
+- :mod:`repro.obs.metrics` — counters, gauges and fixed-bucket histograms
+  in a :class:`MetricRegistry`, plus the canonical fleet metric vocabulary
+  shared by the coordinator's live ``status`` stream and report.py.
+- :mod:`repro.obs.trace` — nestable spans carrying sim-time for
+  in-simulation work and wall-clock (via ``core/wallclock``) for fleet
+  work, exported as stable-schema JSONL.
+- :class:`Telemetry` — the pair, threaded through
+  ``VideoTransportSession``, ``SweepRunner`` and the dispatcher.  The
+  default everywhere is :data:`NULL_TELEMETRY`, whose no-op instruments
+  make disabled telemetry free enough for hot paths (gated in perfbench)
+  and provably inert: it draws no RNG, reads no clock and changes no
+  session stat (gated in tests).
+
+See docs/OBSERVABILITY.md for the vocabulary, span schema and the live
+fleet observatory (``python -m repro.distrib.monitor``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .metrics import (
+    FAULT_AXES,
+    METRIC_VOCAB,
+    NULL_REGISTRY,
+    WORKER_COUNTER_FIELDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricRegistry,
+    fault_metric,
+    vocab_names,
+    worker_metric,
+)
+from .trace import CLOCKS, NULL_TRACE, TRACE_SCHEMA, Span, TraceError, TraceRecorder
+
+
+@dataclass(frozen=True)
+class Telemetry:
+    """A metric registry and a trace recorder that travel together."""
+
+    metrics: MetricRegistry = field(default_factory=MetricRegistry)
+    trace: TraceRecorder = field(default_factory=TraceRecorder)
+
+    @property
+    def enabled(self) -> bool:
+        return self.metrics.enabled or self.trace.enabled
+
+    def sim_stream(self) -> str:
+        """The deterministic export: metrics JSONL + sim-clock trace JSONL.
+
+        This is the byte-string the determinism tests and the perfbench
+        telemetry equivalence gate compare across delivery modes and
+        repeated seeded runs (wall spans are excluded by construction).
+        """
+        return self.metrics.to_jsonl() + "\n---\n" + self.trace.to_jsonl(clock="sim")
+
+
+#: Shared disabled bundle — the default for every instrumented constructor.
+NULL_TELEMETRY = Telemetry(metrics=NULL_REGISTRY, trace=NULL_TRACE)
+
+__all__ = [
+    "CLOCKS",
+    "Counter",
+    "FAULT_AXES",
+    "Gauge",
+    "Histogram",
+    "METRIC_VOCAB",
+    "MetricError",
+    "MetricRegistry",
+    "NULL_REGISTRY",
+    "NULL_TELEMETRY",
+    "NULL_TRACE",
+    "Span",
+    "TRACE_SCHEMA",
+    "Telemetry",
+    "TraceError",
+    "TraceRecorder",
+    "WORKER_COUNTER_FIELDS",
+    "fault_metric",
+    "vocab_names",
+    "worker_metric",
+]

@@ -53,6 +53,18 @@ class TestEquivalenceReport:
         failed = [name for name, ok in checks.items() if not ok]
         assert not failed
 
+    def test_telemetry_stream_gates_present(self):
+        """PR 10 extends the gates to the telemetry stream, same discipline
+        as the report-parity checks: scalar == fast == repeat, byte-wise."""
+        checks = equivalence_report(session_duration_s=0.5)
+        for name in (
+            "telemetry_stream_identical",
+            "telemetry_stream_identical_fec",
+            "telemetry_stream_identical_closed_loop",
+        ):
+            assert name in checks
+            assert checks[name] is True
+
 
 class TestBenchTiming:
     def test_speedup(self):

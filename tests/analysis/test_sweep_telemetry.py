@@ -1,0 +1,97 @@
+"""Sweep-layer telemetry: per-cell spans, cache disposition, clean records.
+
+The runner's telemetry is strictly runner-side: wall-clock spans and
+counters describe *this run's* scheduling (queue wait, execute time, cache
+hits), and none of it may leak into the persisted cell records — those are
+byte-compared across local/distributed/chaos runs by CI.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis import SweepGrid, SweepRunner, bernoulli_scenario
+from repro.obs import Telemetry
+
+GRID = SweepGrid(
+    experiments=("section1_latency_budget",),
+    scenarios=(bernoulli_scenario(0.02),),
+    seeds=(0, 1),
+)
+
+
+class TestSweepTelemetry:
+    def test_executed_cells_get_spans_and_counters(self, tmp_path):
+        telemetry = Telemetry()
+        runner = SweepRunner(results_dir=tmp_path, processes=1, telemetry=telemetry)
+        report = runner.run(GRID)
+        assert report.executed == 2
+
+        snapshot = telemetry.metrics.snapshot()
+        assert snapshot["sweep.cells.executed"]["value"] == 2
+        assert snapshot["sweep.cells.cached"]["value"] == 0
+        assert snapshot["sweep.cells.failed"]["value"] == 0
+
+        spans = telemetry.trace.spans(clock="wall")
+        run_spans = [span for span in spans if span.name == "sweep.run"]
+        cell_spans = [span for span in spans if span.name == "sweep.cell"]
+        assert len(run_spans) == 1
+        assert run_spans[0].attrs == {"cells": 2}
+        assert len(cell_spans) == 2
+        for span in cell_spans:
+            assert span.parent_id == run_spans[0].span_id
+            assert span.attrs["disposition"] == "executed"
+            assert span.attrs["experiment"] == "section1_latency_budget"
+            assert span.attrs["queue_wait_s"] >= 0.0
+            assert span.attrs["execute_s"] > 0.0
+
+    def test_cached_rerun_records_cached_disposition(self, tmp_path):
+        runner = SweepRunner(results_dir=tmp_path, processes=1)
+        runner.run(GRID)
+
+        telemetry = Telemetry()
+        rerun = SweepRunner(results_dir=tmp_path, processes=1, telemetry=telemetry)
+        report = rerun.run(GRID)
+        assert report.cached == 2
+
+        snapshot = telemetry.metrics.snapshot()
+        assert snapshot["sweep.cells.cached"]["value"] == 2
+        assert snapshot["sweep.cells.executed"]["value"] == 0
+        cell_spans = [
+            span for span in telemetry.trace.spans(clock="wall") if span.name == "sweep.cell"
+        ]
+        assert len(cell_spans) == 2
+        for span in cell_spans:
+            assert span.attrs["disposition"] == "cached"
+            assert span.attrs["queue_wait_s"] == 0.0
+            assert span.attrs["execute_s"] == 0.0
+
+    def test_telemetry_never_touches_persisted_records(self, tmp_path):
+        """Byte-identity invariant: an instrumented run persists exactly the
+        same records as a plain run (modulo elapsed_s wall time)."""
+
+        def record_tree(results_dir):
+            out = {}
+            for path in sorted(Path(results_dir).glob("*/*.json")):
+                record = json.loads(path.read_text())
+                record.pop("elapsed_s")
+                out[str(path.relative_to(results_dir))] = record
+            return out
+
+        plain_dir = tmp_path / "plain"
+        instrumented_dir = tmp_path / "instrumented"
+        SweepRunner(results_dir=plain_dir, processes=1).run(GRID)
+        SweepRunner(
+            results_dir=instrumented_dir, processes=1, telemetry=Telemetry()
+        ).run(GRID)
+        plain = record_tree(plain_dir)
+        instrumented = record_tree(instrumented_dir)
+        assert plain == instrumented
+
+    def test_disabled_telemetry_is_default_and_inert(self, tmp_path):
+        runner = SweepRunner(results_dir=tmp_path, processes=1)
+        assert not runner.telemetry.enabled
+        runner.run(GRID)
+        assert runner.telemetry.metrics.snapshot() == {}
+        assert runner.telemetry.trace.spans() == []

@@ -180,6 +180,7 @@ class TestMessageChannel:
             "done",
             "result",
             "heartbeat",
+            "status",
             "bye",
         }
 

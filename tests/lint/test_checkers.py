@@ -468,3 +468,82 @@ class TestSocketTimeout:
             """
         )
         assert rules_of(lint_tree({"analysis/fetch.py": source})) == []
+
+
+class TestPrintDiscipline:
+    """Bare print() is banned outside CLI entry modules."""
+
+    def test_bare_print_in_library_module_flagged(self, lint_tree):
+        source = snippet(
+            """
+            def summarize(report):
+                print(report)
+            """
+        )
+        assert rules_of(lint_tree({"analysis/report.py": source})) == ["print-discipline"]
+
+    def test_module_level_print_flagged_too(self, lint_tree):
+        assert rules_of(lint_tree({"net/debug.py": 'print("loaded")\n'})) == [
+            "print-discipline"
+        ]
+
+    def test_dunder_main_module_is_exempt(self, lint_tree):
+        source = snippet(
+            """
+            def main():
+                print("results written")
+            """
+        )
+        assert rules_of(lint_tree({"analysis/__main__.py": source})) == []
+
+    def test_module_with_main_guard_is_exempt(self, lint_tree):
+        source = snippet(
+            """
+            import sys
+
+            def main():
+                print("worker done")
+                return 0
+
+            if __name__ == "__main__":
+                sys.exit(main())
+            """
+        )
+        assert rules_of(lint_tree({"distrib/worker.py": source})) == []
+
+    def test_reversed_main_guard_is_exempt(self, lint_tree):
+        source = snippet(
+            """
+            def main():
+                print("ok")
+
+            if "__main__" == __name__:
+                main()
+            """
+        )
+        assert rules_of(lint_tree({"distrib/tool.py": source})) == []
+
+    def test_explicit_file_destination_is_clean(self, lint_tree):
+        source = snippet(
+            """
+            import sys
+
+            def warn(message):
+                print(message, file=sys.stderr)
+
+            def dump(profile, out):
+                print(profile, file=out)
+            """
+        )
+        assert rules_of(lint_tree({"analysis/perfbench.py": source})) == []
+
+    def test_inline_disable_suppresses(self, lint_tree):
+        source = snippet(
+            """
+            def trace(event):
+                print(event)  # reprolint: disable=print-discipline
+            """
+        )
+        result = lint_tree({"net/debug.py": source})
+        assert rules_of(result) == []
+        assert result.suppressed == 1

@@ -1,0 +1,133 @@
+"""Unit tests for the two-clock span recorder."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import NULL_TRACE, Telemetry, TraceError, TraceRecorder
+
+
+class TestSpans:
+    def test_start_finish_records_in_finish_order(self):
+        trace = TraceRecorder()
+        outer = trace.start("outer", 0.0)
+        inner = trace.start("inner", 1.0, detail="x")
+        trace.finish(inner, 2.0)
+        trace.finish(outer, 3.0)
+        names = [span.name for span in trace.spans()]
+        assert names == ["inner", "outer"]
+        assert trace.spans()[0].parent_id == outer.span_id
+        assert trace.spans()[0].attrs == {"detail": "x"}
+
+    def test_span_ids_are_sequential(self):
+        trace = TraceRecorder()
+        ids = []
+        for index in range(3):
+            span = trace.start(f"s{index}", 0.0)
+            trace.finish(span, 1.0)
+            ids.append(span.span_id)
+        assert ids == [0, 1, 2]
+
+    def test_record_parents_under_open_span(self):
+        trace = TraceRecorder()
+        outer = trace.start("run", 0.0, clock="wall")
+        trace.record("cell", 0.5, 1.5, clock="wall", disposition="cached")
+        trace.finish(outer, 2.0)
+        cell = trace.spans()[0]
+        assert cell.parent_id == outer.span_id
+        assert cell.t1 - cell.t0 == pytest.approx(1.0)
+
+    def test_double_finish_raises(self):
+        trace = TraceRecorder()
+        span = trace.start("s", 0.0)
+        trace.finish(span, 1.0)
+        with pytest.raises(TraceError):
+            trace.finish(span, 2.0)
+
+    def test_finish_of_foreign_span_raises(self):
+        trace_a, trace_b = TraceRecorder(), TraceRecorder()
+        span = trace_a.start("s", 0.0)
+        with pytest.raises(TraceError):
+            trace_b.finish(span, 1.0)
+
+    def test_unknown_clock_raises(self):
+        trace = TraceRecorder()
+        with pytest.raises(TraceError):
+            trace.start("s", 0.0, clock="cpu")
+        with pytest.raises(TraceError):
+            trace.spans(clock="cpu")
+
+    def test_unfinished_span_refuses_to_serialize(self):
+        trace = TraceRecorder()
+        span = trace.start("s", 0.0)
+        with pytest.raises(TraceError):
+            span.to_jsonable()
+
+    def test_wall_span_context_manager(self):
+        trace = TraceRecorder()
+        with trace.wall_span("sweep.run", cells=4) as span:
+            pass
+        assert span.finished
+        assert span.clock == "wall"
+        assert span.t1 >= span.t0
+        assert span.attrs == {"cells": 4}
+
+
+class TestExport:
+    def test_jsonl_schema_and_clock_filter(self):
+        trace = TraceRecorder()
+        sim = trace.start("sim-span", 0.0)
+        trace.finish(sim, 1.5)
+        trace.record("wall-span", 0.0, 0.1, clock="wall")
+        lines = trace.to_jsonl(clock="sim").splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record == {
+            "attrs": {},
+            "clock": "sim",
+            "dur": 1.5,
+            "name": "sim-span",
+            "parent": None,
+            "span": 0,
+            "t0": 0.0,
+            "t1": 1.5,
+        }
+        assert len(trace.to_jsonl().splitlines()) == 2
+
+
+class TestDisabledRecorder:
+    def test_disabled_recorder_is_inert(self):
+        trace = TraceRecorder(enabled=False)
+        span = trace.start("s", 0.0)
+        span.set(anything="goes")
+        trace.finish(span, 1.0)
+        trace.record("r", 0.0, 1.0)
+        with trace.wall_span("w") as wall:
+            assert wall is span  # the shared null span
+        assert trace.spans() == []
+        assert trace.to_jsonl() == ""
+
+    def test_shared_null_trace_is_disabled(self):
+        assert not NULL_TRACE.enabled
+
+
+class TestTelemetryBundle:
+    def test_sim_stream_combines_metrics_and_sim_spans(self):
+        telemetry = Telemetry()
+        telemetry.metrics.counter("hits").inc()
+        telemetry.trace.record("sim-span", 0.0, 1.0, clock="sim")
+        telemetry.trace.record("wall-span", 0.0, 1.0, clock="wall")
+        stream = telemetry.sim_stream()
+        assert "---" in stream
+        assert "sim-span" in stream
+        # Wall spans are nondeterministic by nature; the comparable stream
+        # must exclude them.
+        assert "wall-span" not in stream
+
+    def test_enabled_property(self):
+        from repro.obs import NULL_TELEMETRY
+
+        assert Telemetry().enabled
+        assert not NULL_TELEMETRY.enabled
